@@ -1,0 +1,27 @@
+"""Benchmark-suite fixtures and result publishing.
+
+Every bench renders the paper-style table it reproduces, prints it, and
+writes it under ``benchmarks/results/`` so the numbers survive pytest's
+output capturing (EXPERIMENTS.md links to these artifacts).
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture
+def publish():
+    """Return a function that prints a rendered table and writes it to disk."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+
+    def _publish(name: str, text: str) -> None:
+        print()
+        print(text)
+        (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+
+    return _publish

@@ -1,0 +1,76 @@
+"""Ablation — GPU-speed sensitivity (the paper's observation 6).
+
+"Memory usage and GPU utilization is not the bottleneck of these models
+training on ENZYMES and DD" (Section IV-D): if the GPU is not the
+bottleneck, a much faster card should barely improve epoch time.  This
+bench replays the GCN/ENZYMES epoch on a half-speed card, the 2080 Ti and
+a 4x-speed card, and shows the epoch time moving far less than the raw
+device speed — while a DD epoch (bigger kernels) responds more.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.bench import format_table
+from repro.datasets import load_dataset
+from repro.device import Device, RTX_2080TI
+from repro.train import GraphClassificationTrainer
+
+SPEEDS = (0.5, 1.0, 4.0)
+
+
+def epoch_time(speed: float, dataset_name: str, num_graphs: int) -> float:
+    spec = dataclasses.replace(
+        RTX_2080TI,
+        peak_flops=RTX_2080TI.peak_flops * speed,
+        mem_bandwidth=RTX_2080TI.mem_bandwidth * speed,
+    )
+    ds = load_dataset(dataset_name, num_graphs=num_graphs)
+    trainer = GraphClassificationTrainer(
+        "pygx", "gcn", ds, batch_size=128, device=Device(spec)
+    )
+    return trainer.measure_epoch(n_epochs=1).mean_epoch_time
+
+
+def run_ablation():
+    out = {}
+    for dataset_name, num_graphs in (("enzymes", 0), ("dd", 200)):
+        for speed in SPEEDS:
+            out[(dataset_name, speed)] = epoch_time(speed, dataset_name, num_graphs)
+    return out
+
+
+def test_ablation_gpu_specs(benchmark, publish):
+    results = benchmark.pedantic(run_ablation, rounds=1, iterations=1)
+    rows = []
+    for dataset_name in ("enzymes", "dd"):
+        base = results[(dataset_name, 1.0)]
+        for speed in SPEEDS:
+            t = results[(dataset_name, speed)]
+            rows.append(
+                [dataset_name, f"{speed:.1f}x", f"{t * 1e3:.1f}", f"{base / t:.2f}x"]
+            )
+    publish(
+        "ablation_gpu_specs",
+        format_table(
+            ["dataset", "GPU speed", "epoch (ms)", "speedup vs 1.0x"],
+            rows,
+            title="Ablation: GCN epoch time vs raw GPU speed (host costs fixed)",
+        ),
+    )
+
+    for dataset_name in ("enzymes", "dd"):
+        half = results[(dataset_name, 0.5)]
+        base = results[(dataset_name, 1.0)]
+        quad = results[(dataset_name, 4.0)]
+        # monotone in device speed
+        assert half > base > quad
+        # a 4x faster GPU buys far less than 4x end to end: the GPU is not
+        # the bottleneck (loading + launch overhead are)
+        assert base / quad < 2.0, dataset_name
+    # DD, with its larger bandwidth-bound kernels, responds more to the
+    # device speed than launch-bound ENZYMES does
+    gain_dd = results[("dd", 1.0)] / results[("dd", 4.0)]
+    gain_enz = results[("enzymes", 1.0)] / results[("enzymes", 4.0)]
+    assert gain_dd > gain_enz

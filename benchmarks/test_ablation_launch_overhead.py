@@ -1,0 +1,65 @@
+"""Ablation — kernel-launch overhead sensitivity.
+
+Why does doubling the batch size nearly halve ENZYMES' forward+backward
+time (Fig. 1) but not DD's (Fig. 2)?  Because ENZYMES' kernels are tiny —
+per-epoch time is dominated by the fixed launch overhead, which scales with
+the number of batches.  This bench replays the GCN epoch under GPU specs
+with the launch overhead swept from 0 to 70 us and shows the batch-size
+speedup appearing as overhead grows.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.bench import breakdown_row, format_table
+from repro.datasets import enzymes
+from repro.device import Device, RTX_2080TI, use_device
+from repro.train import GraphClassificationTrainer
+
+OVERHEADS_US = (0.0, 35.0, 70.0)
+
+
+def fwd_bwd_time(launch_overhead_us: float, batch_size: int) -> float:
+    spec = dataclasses.replace(RTX_2080TI, launch_overhead=launch_overhead_us * 1e-6)
+    ds = enzymes(seed=0)
+    trainer = GraphClassificationTrainer(
+        "pygx", "gcn", ds, batch_size=batch_size, device=Device(spec)
+    )
+    result = trainer.measure_epoch(n_epochs=1)
+    row = breakdown_row(result)
+    return row["forward"] + row["backward"]
+
+
+def run_ablation():
+    out = {}
+    for overhead in OVERHEADS_US:
+        for batch_size in (64, 256):
+            out[(overhead, batch_size)] = fwd_bwd_time(overhead, batch_size)
+    return out
+
+
+def test_ablation_launch_overhead(benchmark, publish):
+    results = benchmark.pedantic(run_ablation, rounds=1, iterations=1)
+    rows = []
+    for overhead in OVERHEADS_US:
+        t64 = results[(overhead, 64)]
+        t256 = results[(overhead, 256)]
+        rows.append(
+            [f"{overhead:.0f}", f"{t64 * 1e3:.1f}", f"{t256 * 1e3:.1f}", f"{t256 / t64:.2f}"]
+        )
+    publish(
+        "ablation_launch_overhead",
+        format_table(
+            ["launch overhead (us)", "fwd+bwd @64 (ms)", "fwd+bwd @256 (ms)", "ratio"],
+            rows,
+            title="Ablation: ENZYMES GCN forward+backward vs launch overhead",
+        ),
+    )
+
+    ratios = {o: results[(o, 256)] / results[(o, 64)] for o in OVERHEADS_US}
+    # with zero launch overhead the batch size barely matters...
+    assert ratios[0.0] > 0.6
+    # ...and the larger the overhead, the closer to the ideal 4x reduction
+    assert ratios[70.0] < ratios[35.0] < ratios[0.0]
+    assert ratios[70.0] < 0.45

@@ -1,0 +1,60 @@
+"""Fig. 1 — execution-time breakdown per epoch on ENZYMES vs batch size.
+
+Six models x two frameworks x batch sizes {64, 128, 256}; each epoch is
+split into data loading / forward / backward / update / other using the
+simulated clock's phase attribution.
+"""
+
+import pytest
+
+from repro.bench import PHASE_ORDER, breakdown_row, breakdown_sweep, format_table
+from repro.models import MODEL_NAMES
+
+BATCH_SIZES = (64, 128, 256)
+
+
+def run_fig1():
+    return breakdown_sweep("enzymes", BATCH_SIZES, n_epochs=2)
+
+
+def test_fig1(benchmark, publish):
+    results = benchmark.pedantic(run_fig1, rounds=1, iterations=1)
+    rows = []
+    for (framework, model, batch_size), run in sorted(results.items()):
+        row = breakdown_row(run)
+        rows.append(
+            [model, framework, str(batch_size)]
+            + [f"{row[p] * 1e3:.1f}" for p in PHASE_ORDER]
+            + [f"{run.mean_epoch_time * 1e3:.1f}"]
+        )
+    publish(
+        "fig1_breakdown_enzymes",
+        format_table(
+            ["model", "fw", "batch"] + [f"{p} (ms)" for p in PHASE_ORDER] + ["epoch (ms)"],
+            rows,
+            title="Fig. 1: per-epoch execution time breakdown, ENZYMES",
+        ),
+    )
+
+    for model in MODEL_NAMES:
+        for batch_size in BATCH_SIZES:
+            pyg = breakdown_row(results[("pygx", model, batch_size)])
+            dgl = breakdown_row(results[("dglx", model, batch_size)])
+            # 4) loading dominated, and DGL loading >> PyG loading
+            assert dgl["data_loading"] > 1.5 * pyg["data_loading"], (model, batch_size)
+            # loading is the largest single phase of every DGL epoch
+            assert dgl["data_loading"] == max(
+                dgl[p] for p in ("data_loading", "forward", "backward", "update")
+            ), (model, batch_size)
+        # 5) ENZYMES is launch-bound: doubling the batch size shrinks
+        # forward+backward markedly (paper: "nearly halved")
+        for framework in ("pygx", "dglx"):
+            small = breakdown_row(results[(framework, model, 64)])
+            large = breakdown_row(results[(framework, model, 256)])
+            fb_small = small["forward"] + small["backward"]
+            fb_large = large["forward"] + large["backward"]
+            assert fb_large < 0.6 * fb_small, (framework, model)
+        # loading cost itself barely depends on the batch size
+        load64 = breakdown_row(results[("pygx", model, 64)])["data_loading"]
+        load256 = breakdown_row(results[("pygx", model, 256)])["data_loading"]
+        assert load256 == pytest.approx(load64, rel=0.25)

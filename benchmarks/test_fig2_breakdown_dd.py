@@ -1,0 +1,57 @@
+"""Fig. 2 — execution-time breakdown per epoch on DD vs batch size.
+
+Same grid as Fig. 1 on the large-graph dataset.  The contrast the paper
+draws: DD's kernels are bandwidth-bound, so growing the batch size does
+*not* shrink forward+backward time the way it does on ENZYMES.
+Bench scale: 250-graph DD subset (EXPERIMENTS.md) — per-batch kernel sizes,
+which drive the effect, are unchanged.
+"""
+
+import pytest
+
+from repro.bench import PHASE_ORDER, breakdown_row, breakdown_sweep, format_table
+from repro.models import MODEL_NAMES
+
+BATCH_SIZES = (64, 128, 256)
+NUM_GRAPHS = 200
+
+
+def run_fig2():
+    return breakdown_sweep("dd", BATCH_SIZES, num_graphs=NUM_GRAPHS, n_epochs=1)
+
+
+def test_fig2(benchmark, publish):
+    results = benchmark.pedantic(run_fig2, rounds=1, iterations=1)
+    rows = []
+    for (framework, model, batch_size), run in sorted(results.items()):
+        row = breakdown_row(run)
+        rows.append(
+            [model, framework, str(batch_size)]
+            + [f"{row[p] * 1e3:.1f}" for p in PHASE_ORDER]
+            + [f"{run.mean_epoch_time * 1e3:.1f}"]
+        )
+    publish(
+        "fig2_breakdown_dd",
+        format_table(
+            ["model", "fw", "batch"] + [f"{p} (ms)" for p in PHASE_ORDER] + ["epoch (ms)"],
+            rows,
+            title=f"Fig. 2: per-epoch execution time breakdown, DD ({NUM_GRAPHS} graphs)",
+        ),
+    )
+
+    for model in MODEL_NAMES:
+        # DGL still slower end to end
+        for batch_size in BATCH_SIZES:
+            assert (
+                results[("dglx", model, batch_size)].mean_epoch_time
+                > results[("pygx", model, batch_size)].mean_epoch_time
+            ), (model, batch_size)
+        # 5) DD is bandwidth-bound: batch-size doubling moves fwd+bwd only
+        # slightly (paper: "only slightly less or even larger"), unlike the
+        # near-halving on ENZYMES.
+        for framework in ("pygx", "dglx"):
+            small = breakdown_row(results[(framework, model, 64)])
+            large = breakdown_row(results[(framework, model, 256)])
+            fb_small = small["forward"] + small["backward"]
+            fb_large = large["forward"] + large["backward"]
+            assert fb_large > 0.55 * fb_small, (framework, model)

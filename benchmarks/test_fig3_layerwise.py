@@ -1,0 +1,59 @@
+"""Fig. 3 — layer-wise execution time of one training batch on ENZYMES.
+
+One forward/backward/update step per model per framework with the profiler
+enabled; kernel time is attributed to conv1..conv4, pooling and the MLP
+classifier through the module scope stack (the nvprof/NVTX analogue).
+"""
+
+import pytest
+
+from repro.bench import format_table, layerwise_profile
+from repro.models import MODEL_NAMES
+
+SCOPES = ["conv1", "conv2", "conv3", "conv4", "pooling", "classifier"]
+
+
+def run_fig3():
+    out = {}
+    for model in MODEL_NAMES:
+        for framework in ("pygx", "dglx"):
+            out[(model, framework)] = layerwise_profile(
+                framework, model, "enzymes", batch_size=128
+            )
+    return out
+
+
+def test_fig3(benchmark, publish):
+    results = benchmark.pedantic(run_fig3, rounds=1, iterations=1)
+    rows = []
+    for (model, framework), scopes in results.items():
+        rows.append(
+            [model, framework]
+            + [f"{scopes[s] * 1e6:.0f}" for s in SCOPES]
+        )
+    publish(
+        "fig3_layerwise",
+        format_table(
+            ["model", "fw"] + [f"{s} (us)" for s in SCOPES],
+            rows,
+            title="Fig. 3: kernel time per layer, one ENZYMES batch (128 graphs)",
+        ),
+    )
+
+    for model in MODEL_NAMES:
+        pyg = results[(model, "pygx")]
+        dgl = results[(model, "dglx")]
+        conv_time = lambda p: sum(p[f"conv{i}"] for i in range(1, 5))
+        # "the conv layers of all models provided by DGL are more
+        # time-consuming" (Section IV-C)
+        assert conv_time(dgl) > conv_time(pyg), model
+        # "the pooling operations provided by DGL ... are also more
+        # time-consuming than those provided by PyG"
+        assert dgl["pooling"] > pyg["pooling"], model
+        # every conv layer actually ran kernels
+        for i in range(1, 5):
+            assert pyg[f"conv{i}"] > 0 and dgl[f"conv{i}"] > 0
+    # conv1 of DGL GIN costs at least as much as the later conv layers
+    # (GSpMM on the raw input features, Section IV-C)
+    gin = results[("gin", "dglx")]
+    assert gin["conv1"] >= 0.8 * max(gin[f"conv{i}"] for i in (2, 3))

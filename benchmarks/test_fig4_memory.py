@@ -1,0 +1,63 @@
+"""Fig. 4 — peak device memory vs batch size on ENZYMES and DD.
+
+Same grid as Fig. 1/2, reading the memory pool's high-water mark instead of
+the clock (the nvidia-smi analogue).
+"""
+
+import pytest
+
+from repro.bench import breakdown_sweep, format_table
+from repro.models import ANISOTROPIC, MODEL_NAMES
+
+BATCH_SIZES = (64, 128, 256)
+
+
+def run_fig4():
+    return {
+        "enzymes": breakdown_sweep("enzymes", BATCH_SIZES, n_epochs=1),
+        "dd": breakdown_sweep("dd", BATCH_SIZES, num_graphs=200, n_epochs=1),
+    }
+
+
+def test_fig4(benchmark, publish):
+    results = benchmark.pedantic(run_fig4, rounds=1, iterations=1)
+    rows = []
+    for dataset, grid in results.items():
+        for (framework, model, batch_size), run in sorted(grid.items()):
+            rows.append(
+                [dataset, model, framework, str(batch_size), f"{run.peak_memory / 1e6:.0f}"]
+            )
+    publish(
+        "fig4_memory",
+        format_table(
+            ["dataset", "model", "fw", "batch", "peak (MB)"],
+            rows,
+            title="Fig. 4: peak simulated device memory",
+        ),
+    )
+
+    for dataset, grid in results.items():
+        # 6) GatedGCN under DGL uses by far the most memory
+        for batch_size in BATCH_SIZES:
+            dgl_peaks = {m: grid[("dglx", m, batch_size)].peak_memory for m in MODEL_NAMES}
+            assert dgl_peaks["gatedgcn"] == max(dgl_peaks.values()), (dataset, batch_size)
+            assert (
+                grid[("dglx", "gatedgcn", batch_size)].peak_memory
+                > 1.3 * grid[("pygx", "gatedgcn", batch_size)].peak_memory
+            ), (dataset, batch_size)
+        # 1) anisotropic models grow faster with batch size than GCN
+        for framework in ("pygx", "dglx"):
+            for model in ANISOTROPIC:
+                growth_aniso = (
+                    grid[(framework, model, 256)].peak_memory
+                    / grid[(framework, model, 64)].peak_memory
+                )
+                assert growth_aniso > 1.5, (dataset, framework, model)
+        # 3) memory stays far below the 11 GB card for the isotropic models
+        for model in ("gcn", "gin", "sage"):
+            assert grid[("pygx", model, 128)].peak_memory < 2e9, (dataset, model)
+    # DD needs more memory than ENZYMES at equal batch size (bigger graphs)
+    assert (
+        results["dd"][("pygx", "gat", 128)].peak_memory
+        > results["enzymes"][("pygx", "gat", 128)].peak_memory
+    )

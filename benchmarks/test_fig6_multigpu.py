@@ -1,0 +1,55 @@
+"""Fig. 6 — multi-GPU (DataParallel) epoch time for GCN and GAT on MNIST.
+
+1/2/4/8 simulated GPUs at batch sizes {128, 256, 512} under both
+frameworks, on a 1 000-graph subset of MNIST-superpixels (EXPERIMENTS.md).
+"""
+
+import pytest
+
+from repro.bench import format_table, multigpu_series
+
+GPUS = (1, 2, 4, 8)
+BATCHES = (128, 256, 512)
+
+
+def run_fig6():
+    return multigpu_series(
+        models=("gcn", "gat"),
+        batch_sizes=BATCHES,
+        gpu_counts=GPUS,
+        num_graphs=1000,
+        max_batches=2,
+    )
+
+
+def test_fig6(benchmark, publish):
+    results = benchmark.pedantic(run_fig6, rounds=1, iterations=1)
+    rows = []
+    for model in ("gcn", "gat"):
+        for framework in ("pygx", "dglx"):
+            for batch_size in BATCHES:
+                times = [results[(framework, model, batch_size, n)] for n in GPUS]
+                rows.append(
+                    [model, framework, str(batch_size)]
+                    + [f"{t * 1e3:.0f}" for t in times]
+                )
+    publish(
+        "fig6_multigpu",
+        format_table(
+            ["model", "fw", "batch"] + [f"{n}gpu (ms)" for n in GPUS],
+            rows,
+            title="Fig. 6: simulated epoch time vs GPU count, MNIST (1000 graphs)",
+        ),
+    )
+
+    for model in ("gcn", "gat"):
+        for framework in ("pygx", "dglx"):
+            for batch_size in BATCHES:
+                t = {n: results[(framework, model, batch_size, n)] for n in GPUS}
+                # 8) 1 -> 2 -> 4 GPUs: slight decrease (or at worst flat)
+                assert t[2] < t[1] * 1.10, (model, framework, batch_size)
+                assert t[4] < t[2] * 1.10, (model, framework, batch_size)
+                # 4 -> 8 GPUs: no meaningful gain, sometimes a regression
+                assert t[8] > t[4] * 0.8, (model, framework, batch_size)
+                # the end-to-end gain is modest because loading dominates
+                assert t[4] > 0.5 * t[1], (model, framework, batch_size)

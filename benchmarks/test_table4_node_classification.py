@@ -1,0 +1,109 @@
+"""Table IV — node classification on Cora and PubMed.
+
+Six models x two frameworks x two datasets, full-batch training.
+Reduced from the paper's protocol for bench runtime (EXPERIMENTS.md):
+30 epochs instead of 200 and 1-2 seeds (the paper's +-s.d. column is
+reproduced at 2 seeds for Cora only).  Simulated epoch time includes the
+per-epoch validation pass, matching the pipelines the paper instruments.
+"""
+
+import numpy as np
+import pytest
+
+from repro.bench import format_seconds, format_table, table4_cell
+from repro.models import MODEL_NAMES
+from repro.train import compare_accuracies
+
+EPOCHS = 30
+PAPER_EPOCH_MS = {  # (dataset, model, framework) -> paper epoch time (ms)
+    ("cora", "gcn", "pygx"): 4.9, ("cora", "gcn", "dglx"): 6.3,
+    ("cora", "gat", "pygx"): 7.2, ("cora", "gat", "dglx"): 8.2,
+    ("cora", "sage", "pygx"): 3.8, ("cora", "sage", "dglx"): 6.8,
+    ("cora", "gin", "pygx"): 5.8, ("cora", "gin", "dglx"): 6.1,
+    ("cora", "monet", "pygx"): 6.8, ("cora", "monet", "dglx"): 8.6,
+    ("cora", "gatedgcn", "pygx"): 5.4, ("cora", "gatedgcn", "dglx"): 10.1,
+    ("pubmed", "gcn", "pygx"): 5.3, ("pubmed", "gcn", "dglx"): 7.1,
+    ("pubmed", "gat", "pygx"): 8.2, ("pubmed", "gat", "dglx"): 9.2,
+    ("pubmed", "sage", "pygx"): 5.0, ("pubmed", "sage", "dglx"): 6.3,
+    ("pubmed", "gin", "pygx"): 7.0, ("pubmed", "gin", "dglx"): 7.9,
+    ("pubmed", "monet", "pygx"): 7.9, ("pubmed", "monet", "dglx"): 9.4,
+    ("pubmed", "gatedgcn", "pygx"): 6.3, ("pubmed", "gatedgcn", "dglx"): 17.4,
+}
+
+
+def run_table4():
+    results = {}
+    for dataset in ("cora", "pubmed"):
+        for model in MODEL_NAMES:
+            for framework in ("pygx", "dglx"):
+                seeds = (0, 1) if dataset == "cora" else (0,)
+                results[(dataset, model, framework)] = table4_cell(
+                    framework, model, dataset, max_epochs=EPOCHS, seeds=seeds
+                )
+    return results
+
+
+def test_table4(benchmark, publish):
+    results = benchmark.pedantic(run_table4, rounds=1, iterations=1)
+    rows = []
+    for (dataset, model, framework), cell in results.items():
+        paper_ms = PAPER_EPOCH_MS[(dataset, model, framework)]
+        rows.append(
+            [
+                dataset,
+                model,
+                framework,
+                f"{cell.epoch_time * 1e3:.2f}ms",
+                format_seconds(cell.total_time),
+                f"{cell.acc_mean * 100:.1f}+-{cell.acc_std * 100:.1f}",
+                f"{paper_ms:.1f}ms",
+            ]
+        )
+    parity_lines = ["", "accuracy parity (pygx vs dglx, Welch t-test where seeds allow):"]
+    for dataset in ("cora", "pubmed"):
+        for model in MODEL_NAMES:
+            pyg = results[(dataset, model, "pygx")]
+            dgl = results[(dataset, model, "dglx")]
+            cmp = compare_accuracies(
+                [r.test_acc for r in pyg.runs], [r.test_acc for r in dgl.runs]
+            )
+            verdict = "indistinguishable" if cmp.indistinguishable() else "differs"
+            parity_lines.append(
+                f"  {dataset:7s} {model:9s} gap={cmp.mean_gap * 100:4.1f}pp "
+                f"p={cmp.p_value:.2f} -> {verdict}"
+            )
+    publish(
+        "table4_node_classification",
+        format_table(
+            ["dataset", "model", "fw", "epoch", "total", "acc", "paper epoch"],
+            rows,
+            title=f"Table IV: node classification ({EPOCHS} epochs, simulated times)",
+        )
+        + "\n".join(parity_lines),
+    )
+
+    # Shape assertions (DESIGN.md section 5)
+    for dataset in ("cora", "pubmed"):
+        for model in MODEL_NAMES:
+            pyg = results[(dataset, model, "pygx")]
+            dgl = results[(dataset, model, "dglx")]
+            # 1) PyG-style trains faster for every model
+            assert pyg.epoch_time < dgl.epoch_time, (dataset, model)
+            # 9) the two frameworks reach similar accuracy
+            assert abs(pyg.acc_mean - dgl.acc_mean) < 0.15, (dataset, model)
+        # 2) GatedGCN-DGL is the slowest DGL model per dataset (obs. 3)
+        dgl_times = {m: results[(dataset, m, "dglx")].epoch_time for m in MODEL_NAMES}
+        assert dgl_times["gatedgcn"] == max(dgl_times.values())
+    # 3) GatedGCN's DGL/PyG ratio is the largest gap (roughly 2x)
+    ratio = (
+        results[("cora", "gatedgcn", "dglx")].epoch_time
+        / results[("cora", "gatedgcn", "pygx")].epoch_time
+    )
+    assert ratio > 1.4
+    # accuracy lands in a plausible band (paper: 74-83 on Cora) for the
+    # models whose learning rate converges within the 30-epoch bench cap;
+    # SAGE and GatedGCN (lr = 1e-3) are undertrained at this reduction and
+    # only their cross-framework parity is asserted (see EXPERIMENTS.md).
+    for model in ("gcn", "gat", "gin", "monet"):
+        acc = results[("cora", model, "pygx")].acc_mean
+        assert 0.4 < acc < 0.95, model

@@ -1,0 +1,104 @@
+"""Table V — graph classification on ENZYMES and DD.
+
+Six models x two frameworks x two datasets with the paper's protocol
+(batch 128, Adam + plateau decay).  Reduced for bench runtime
+(EXPERIMENTS.md): 1 of 10 CV folds and a 15-epoch cap on ENZYMES; 1 fold,
+a 6-epoch cap and a 200-graph subset on DD.  Epoch *times* are unaffected
+by the caps; accuracies are close to converged because the synthetic
+classes separate quickly.
+"""
+
+import pytest
+
+from repro.bench import format_seconds, format_table, table5_cell
+from repro.models import MODEL_NAMES
+
+PAPER_EPOCH_S = {  # (dataset, model, framework) -> paper epoch seconds
+    ("enzymes", "gcn", "pygx"): 0.087, ("enzymes", "gcn", "dglx"): 0.164,
+    ("enzymes", "gat", "pygx"): 0.117, ("enzymes", "gat", "dglx"): 0.195,
+    ("enzymes", "sage", "pygx"): 0.071, ("enzymes", "sage", "dglx"): 0.157,
+    ("enzymes", "gin", "pygx"): 0.082, ("enzymes", "gin", "dglx"): 0.155,
+    ("enzymes", "monet", "pygx"): 0.123, ("enzymes", "monet", "dglx"): 0.196,
+    ("enzymes", "gatedgcn", "pygx"): 0.104, ("enzymes", "gatedgcn", "dglx"): 0.216,
+    ("dd", "gcn", "pygx"): 0.361, ("dd", "gcn", "dglx"): 0.853,
+    ("dd", "gat", "pygx"): 0.627, ("dd", "gat", "dglx"): 1.042,
+    ("dd", "sage", "pygx"): 0.262, ("dd", "sage", "dglx"): 0.603,
+    ("dd", "gin", "pygx"): 0.484, ("dd", "gin", "dglx"): 0.882,
+    ("dd", "monet", "pygx"): 0.434, ("dd", "monet", "dglx"): 0.758,
+    ("dd", "gatedgcn", "pygx"): 0.355, ("dd", "gatedgcn", "dglx"): 1.255,
+}
+
+SETTINGS = {
+    "enzymes": dict(num_graphs=0, max_epochs=15, max_folds=1),
+    "dd": dict(num_graphs=200, max_epochs=6, max_folds=1),
+}
+
+
+def run_table5():
+    results = {}
+    for dataset, kwargs in SETTINGS.items():
+        for model in MODEL_NAMES:
+            for framework in ("pygx", "dglx"):
+                results[(dataset, model, framework)] = table5_cell(
+                    framework, model, dataset, batch_size=128, **kwargs
+                )
+    return results
+
+
+def test_table5(benchmark, publish):
+    results = benchmark.pedantic(run_table5, rounds=1, iterations=1)
+    rows = []
+    for (dataset, model, framework), cell in results.items():
+        rows.append(
+            [
+                dataset,
+                model,
+                framework,
+                f"{cell.epoch_time * 1e3:.0f}ms",
+                format_seconds(cell.total_time),
+                f"{cell.acc_mean * 100:.1f}+-{cell.acc_std * 100:.1f}",
+                f"{PAPER_EPOCH_S[(dataset, model, framework)] * 1e3:.0f}ms",
+            ]
+        )
+    publish(
+        "table5_graph_classification",
+        format_table(
+            ["dataset", "model", "fw", "epoch", "total", "acc", "paper epoch"],
+            rows,
+            title="Table V: graph classification (reduced folds/epochs, simulated times)",
+        ),
+    )
+
+    for dataset in SETTINGS:
+        dgl_times = {}
+        for model in MODEL_NAMES:
+            pyg = results[(dataset, model, "pygx")]
+            dgl = results[(dataset, model, "dglx")]
+            # 1) PyG-style significantly faster per epoch for all models.
+            # The margin is smallest for GAT on DD (compute-dominated
+            # epochs dilute the loading gap), so the floor is 1.15x there.
+            floor = 1.15 if dataset == "dd" else 1.25
+            assert dgl.epoch_time > floor * pyg.epoch_time, (dataset, model)
+            # 9) similar accuracy across frameworks (DD's reduced fold has
+            # a 20-graph test set, so its tolerance is wider)
+            tol = 0.30 if dataset == "dd" else 0.20
+            assert abs(pyg.acc_mean - dgl.acc_mean) < tol, (dataset, model)
+            dgl_times[model] = dgl.epoch_time
+        # 2) GatedGCN under DGL is the slowest configuration
+        assert dgl_times["gatedgcn"] == max(dgl_times.values()), dataset
+
+    # DD training is far more expensive than ENZYMES *per graph* (bigger
+    # graphs, wider features); the bench's DD subset has fewer graphs per
+    # epoch than full ENZYMES, so the comparison must be per-graph.
+    dd_train_graphs = 0.8 * 200  # 1 fold of the 200-graph subset
+    enz_train_graphs = 0.8 * 600
+    dd_per_graph = results[("dd", "gcn", "pygx")].epoch_time / dd_train_graphs
+    enz_per_graph = results[("enzymes", "gcn", "pygx")].epoch_time / enz_train_graphs
+    assert dd_per_graph > 1.5 * enz_per_graph
+    # epoch-time ratio vs the paper: same winner, comparable factor
+    for (dataset, model, framework), cell in results.items():
+        if dataset == "enzymes":
+            paper = PAPER_EPOCH_S[(dataset, model, framework)]
+            assert cell.epoch_time == pytest.approx(paper, rel=0.8), (
+                dataset, model, framework,
+            )

@@ -1,0 +1,49 @@
+"""Multi-GPU DataParallel scaling on MNIST superpixels (Fig. 6 protocol).
+
+Simulates per-epoch training time for GCN and GAT on 1/2/4/8 GPUs at
+several batch sizes.  Loading stays on the host, compute splits across
+replicas, and DataParallel's broadcast/scatter/gather/reduce transfers are
+charged per iteration — reproducing the paper's finding that 2 and 4 GPUs
+help only mildly and 8 GPUs can be slower.
+
+Run:
+    python examples/multi_gpu_scaling.py
+"""
+
+from repro.bench import format_table
+from repro.datasets import load_dataset
+from repro.train import multi_gpu_epoch_time
+
+
+def main() -> None:
+    dataset = load_dataset("mnist", num_graphs=1000)
+    print(f"dataset: {dataset} (subset of the 70k-graph MNIST-superpixels)")
+    print()
+    gpu_counts = (1, 2, 4, 8)
+    for model in ("gcn", "gat"):
+        rows = []
+        for framework in ("pygx", "dglx"):
+            for batch_size in (128, 256, 512):
+                times = [
+                    multi_gpu_epoch_time(
+                        framework, model, dataset,
+                        batch_size=batch_size, n_gpus=n, max_batches=2,
+                    )
+                    for n in gpu_counts
+                ]
+                rows.append(
+                    [framework, str(batch_size)]
+                    + [f"{t * 1e3:.0f}" for t in times]
+                )
+        print(
+            format_table(
+                ["framework", "batch"] + [f"{n} GPU (ms)" for n in gpu_counts],
+                rows,
+                title=f"{model.upper()}: simulated epoch time vs GPU count",
+            )
+        )
+        print()
+
+
+if __name__ == "__main__":
+    main()

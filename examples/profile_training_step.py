@@ -1,0 +1,44 @@
+"""Layer-wise kernel profile of one training batch (Fig. 3 methodology).
+
+Runs a single forward/backward/update step of every model on an ENZYMES
+batch under both frameworks, with the simulated profiler enabled, and
+prints kernel time attributed to conv1..conv4, pooling and the classifier
+— the same observable the paper extracts with nvprof.
+
+Run:
+    python examples/profile_training_step.py
+"""
+
+from repro.bench import format_table, layerwise_profile
+from repro.models import MODEL_NAMES
+
+
+def main() -> None:
+    scopes = ["conv1", "conv2", "conv3", "conv4", "pooling", "classifier"]
+    rows = []
+    for model in MODEL_NAMES:
+        for framework in ("pygx", "dglx"):
+            profile = layerwise_profile(
+                framework, model, "enzymes", batch_size=128, num_graphs=256
+            )
+            rows.append(
+                [model, framework]
+                + [f"{profile[s] * 1e6:.0f}" for s in scopes]
+            )
+    print(
+        format_table(
+            ["model", "framework"] + [f"{s} (us)" for s in scopes],
+            rows,
+            title="Kernel time per scope, one training batch on ENZYMES (batch 128)",
+        )
+    )
+    print()
+    print(
+        "DGL-style conv layers cost more kernel time (generic GSpMM vs dense\n"
+        "primitives) while its pooling uses the segment-reduce operator —\n"
+        "both observations from the paper's Fig. 3 discussion."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,44 @@
+"""Quickstart: train one GNN under both framework implementations.
+
+Trains a GCN for a few epochs on the synthetic ENZYMES dataset under the
+PyG-style (`repro.pygx`) and DGL-style (`repro.dglx`) frameworks, then
+prints the simulated per-epoch time, its phase breakdown, peak device
+memory, and GPU utilisation — the observables the paper compares.
+
+Run:
+    python examples/quickstart.py
+"""
+
+from repro.datasets import enzymes
+from repro.device import Device
+from repro.train import GraphClassificationTrainer
+
+
+def main() -> None:
+    dataset = enzymes(num_graphs=240)  # scaled-down ENZYMES for a quick demo
+    print(f"dataset: {dataset}")
+    print()
+
+    for framework in ("pygx", "dglx"):
+        trainer = GraphClassificationTrainer(
+            framework, "gcn", dataset, batch_size=64, device=Device()
+        )
+        result = trainer.measure_epoch(n_epochs=3)
+        phases = result.mean_phase_times()
+        print(f"[{framework}] GCN on ENZYMES (batch 64)")
+        print(f"  simulated epoch time : {result.mean_epoch_time * 1e3:8.2f} ms")
+        for name in ("data_loading", "forward", "backward", "update"):
+            print(f"    {name:<18}: {phases.get(name, 0.0) * 1e3:8.2f} ms")
+        print(f"  peak device memory   : {result.peak_memory / 1e6:8.1f} MB")
+        print(f"  GPU utilisation      : {result.gpu_utilization * 100:8.1f} %")
+        print()
+
+    print(
+        "The DGL-style run is slower: its heterograph batching path costs\n"
+        "more per graph and every update_all pays a scheduler overhead —\n"
+        "the two effects the paper identifies in Section IV-C."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,8 @@
+"""Setuptools shim for environments without the `wheel` package.
+
+`pip install -e . --no-build-isolation` needs bdist_wheel; this offline image
+lacks `wheel`, so `python setup.py develop` provides the editable install.
+"""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,24 @@
+"""Reproduction of "Performance Analysis of Graph Neural Network Frameworks"
+(Wu, Sun, Sun & Sun, ISPASS 2021).
+
+The package implements, from scratch in numpy, everything the study needs:
+
+* :mod:`repro.tensor` / :mod:`repro.nn` / :mod:`repro.optim` — a PyTorch-like
+  autograd engine whose every operation reports a kernel to a simulated GPU;
+* :mod:`repro.device` — the simulated 2080Ti: roofline cost model, clock,
+  memory pool, profiler, DataParallel model;
+* :mod:`repro.pygx` — a PyTorch-Geometric-style GNN framework;
+* :mod:`repro.dglx` — a Deep-Graph-Library-style GNN framework;
+* :mod:`repro.datasets` — synthetic stand-ins for Cora, PubMed, ENZYMES, DD
+  and MNIST-superpixels matching Table I statistics;
+* :mod:`repro.models` — the shared hyper-parameter tables (II/III);
+* :mod:`repro.train` — the paper's training protocols;
+* :mod:`repro.bench` — runners regenerating every table and figure.
+
+See DESIGN.md for the substitution rationale and EXPERIMENTS.md for
+paper-vs-measured results.
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

@@ -1,0 +1,43 @@
+"""Experiment runners + renderers for the paper's tables and figures."""
+
+from repro.bench.runner import (
+    FRAMEWORKS,
+    PHASE_ORDER,
+    breakdown_row,
+    breakdown_sweep,
+    epoch_profile,
+    layerwise_profile,
+    multigpu_series,
+    table4_cell,
+    table5_cell,
+)
+from repro.bench.charts import horizontal_bars, series_table, stacked_bars
+from repro.bench.overlap import OverlapProjection, project_overlap
+from repro.bench.serialize import (
+    experiments_from_json,
+    experiments_to_csv,
+    experiments_to_json,
+)
+from repro.bench.tables import format_seconds, format_table
+
+__all__ = [
+    "FRAMEWORKS",
+    "PHASE_ORDER",
+    "table4_cell",
+    "table5_cell",
+    "epoch_profile",
+    "breakdown_row",
+    "breakdown_sweep",
+    "layerwise_profile",
+    "multigpu_series",
+    "format_table",
+    "format_seconds",
+    "horizontal_bars",
+    "stacked_bars",
+    "series_table",
+    "project_overlap",
+    "OverlapProjection",
+    "experiments_to_json",
+    "experiments_from_json",
+    "experiments_to_csv",
+]

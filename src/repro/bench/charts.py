@@ -1,0 +1,82 @@
+"""ASCII chart rendering for figure-style bench output.
+
+The paper's Figs. 1/2 are stacked bar charts and Figs. 4/5/6 grouped bars.
+For a terminal-only library the closest faithful rendering is horizontal
+ASCII bars; :func:`stacked_bars` draws one labelled bar per row with
+per-segment characters, plus a legend.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Sequence
+
+#: Fill characters assigned to stack segments, in order.
+_SEGMENT_CHARS = "#=+.*o@%"
+
+
+def horizontal_bars(
+    rows: Mapping[str, float],
+    width: int = 50,
+    unit: str = "",
+    title: str = "",
+) -> str:
+    """One horizontal bar per (label, value); scaled to the max value."""
+    if not rows:
+        return title
+    peak = max(rows.values()) or 1.0
+    label_w = max(len(k) for k in rows)
+    lines: List[str] = [title] if title else []
+    for label, value in rows.items():
+        filled = int(round(width * value / peak))
+        lines.append(f"{label.ljust(label_w)} |{'#' * filled:<{width}}| {value:.3g}{unit}")
+    return "\n".join(lines)
+
+
+def stacked_bars(
+    rows: Mapping[str, Mapping[str, float]],
+    segments: Sequence[str],
+    width: int = 60,
+    unit: str = "",
+    title: str = "",
+) -> str:
+    """One stacked horizontal bar per row, one character class per segment.
+
+    ``rows`` maps a label to {segment -> value}; ``segments`` fixes the
+    stacking order and the legend.
+    """
+    if not rows:
+        return title
+    totals = {label: sum(parts.get(s, 0.0) for s in segments) for label, parts in rows.items()}
+    peak = max(totals.values()) or 1.0
+    label_w = max(len(k) for k in rows)
+    lines: List[str] = [title] if title else []
+    for label, parts in rows.items():
+        bar = ""
+        for i, segment in enumerate(segments):
+            value = parts.get(segment, 0.0)
+            bar += _SEGMENT_CHARS[i % len(_SEGMENT_CHARS)] * int(round(width * value / peak))
+        lines.append(f"{label.ljust(label_w)} |{bar:<{width}}| {totals[label]:.3g}{unit}")
+    legend = "  ".join(
+        f"{_SEGMENT_CHARS[i % len(_SEGMENT_CHARS)]}={segment}"
+        for i, segment in enumerate(segments)
+    )
+    lines.append(f"legend: {legend}")
+    return "\n".join(lines)
+
+
+def series_table(
+    series: Mapping[str, Sequence[float]],
+    x_labels: Sequence[str],
+    unit: str = "",
+    title: str = "",
+) -> str:
+    """Numeric multi-series table (for Fig. 6-style line plots)."""
+    label_w = max([len(k) for k in series] + [6])
+    col_w = max([len(x) for x in x_labels] + [8])
+    lines: List[str] = [title] if title else []
+    header = " " * label_w + "  " + "  ".join(x.rjust(col_w) for x in x_labels)
+    lines.append(header)
+    for name, values in series.items():
+        cells = "  ".join(f"{v:.4g}{unit}".rjust(col_w) for v in values)
+        lines.append(f"{name.ljust(label_w)}  {cells}")
+    return "\n".join(lines)

@@ -1,0 +1,225 @@
+"""Command-line experiment runner.
+
+Regenerates any of the paper's experiments from a shell, without pytest::
+
+    python -m repro.bench.report table1
+    python -m repro.bench.report table4 --models gcn gat --datasets cora --epochs 30
+    python -m repro.bench.report fig1 --batch-sizes 64 128 --models gcn
+    python -m repro.bench.report fig6 --num-graphs 500
+    python -m repro.bench.report fig3 --json out.json
+
+Every subcommand prints the paper-style table (and, where it helps, an
+ASCII chart); ``--json``/``--csv`` write machine-readable copies.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.bench import (
+    PHASE_ORDER,
+    breakdown_row,
+    breakdown_sweep,
+    format_seconds,
+    format_table,
+    layerwise_profile,
+    multigpu_series,
+    table4_cell,
+    table5_cell,
+)
+from repro.bench.charts import stacked_bars
+from repro.bench.serialize import experiments_to_csv, experiments_to_json
+from repro.datasets import FULL_MNIST_SIZE, compute_statistics, load_dataset
+from repro.models import MODEL_NAMES
+
+EXPERIMENTS = ("table1", "table4", "table5", "fig1", "fig2", "fig3", "fig4", "fig5", "fig6")
+
+
+def _parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench.report",
+        description="Regenerate the paper's tables and figures.",
+    )
+    parser.add_argument("experiment", choices=EXPERIMENTS)
+    parser.add_argument("--models", nargs="+", default=list(MODEL_NAMES))
+    parser.add_argument("--frameworks", nargs="+", default=["pygx", "dglx"])
+    parser.add_argument("--datasets", nargs="+", default=None)
+    parser.add_argument("--epochs", type=int, default=20)
+    parser.add_argument("--batch-sizes", nargs="+", type=int, default=[64, 128, 256])
+    parser.add_argument("--num-graphs", type=int, default=0)
+    parser.add_argument("--folds", type=int, default=1)
+    parser.add_argument("--json", default=None, help="write experiment JSON here")
+    parser.add_argument("--csv", default=None, help="write summary CSV here")
+    return parser
+
+
+def _write_outputs(args, results: List) -> None:
+    if args.json:
+        with open(args.json, "w") as fh:
+            fh.write(experiments_to_json(results, include_runs=True))
+    if args.csv:
+        with open(args.csv, "w") as fh:
+            fh.write(experiments_to_csv(results))
+
+
+def _run_table1(args) -> None:
+    rows = []
+    for name in args.datasets or ["cora", "pubmed", "enzymes", "mnist", "dd"]:
+        num_graphs = args.num_graphs or (1500 if name == "mnist" else 0)
+        ds = load_dataset(name, num_graphs=num_graphs)
+        reported = FULL_MNIST_SIZE if name == "mnist" else 0
+        rows.append(compute_statistics(ds, reported_num_graphs=reported).row())
+    print(
+        format_table(
+            ["Dataset", "#Graph", "#Nodes(Avg)", "#Edges(Avg)", "#Feature", "#Classes"],
+            rows,
+            title="Table I: dataset statistics",
+        )
+    )
+
+
+def _run_table4(args) -> None:
+    results = []
+    for dataset in args.datasets or ["cora", "pubmed"]:
+        for model in args.models:
+            for framework in args.frameworks:
+                results.append(
+                    table4_cell(framework, model, dataset, max_epochs=args.epochs, seeds=(0,))
+                )
+    rows = [
+        [r.dataset, r.model, r.framework, f"{r.epoch_time * 1e3:.2f}ms",
+         format_seconds(r.total_time), f"{r.acc_mean * 100:.1f}"]
+        for r in results
+    ]
+    print(format_table(["dataset", "model", "fw", "epoch", "total", "acc"], rows,
+                       title=f"Table IV ({args.epochs} epochs)"))
+    _write_outputs(args, results)
+
+
+def _run_table5(args) -> None:
+    results = []
+    for dataset in args.datasets or ["enzymes"]:
+        for model in args.models:
+            for framework in args.frameworks:
+                results.append(
+                    table5_cell(
+                        framework,
+                        model,
+                        dataset,
+                        num_graphs=args.num_graphs,
+                        max_epochs=args.epochs,
+                        max_folds=args.folds,
+                    )
+                )
+    rows = [
+        [r.dataset, r.model, r.framework, f"{r.epoch_time * 1e3:.0f}ms",
+         format_seconds(r.total_time), f"{r.acc_mean * 100:.1f}+-{r.acc_std * 100:.1f}"]
+        for r in results
+    ]
+    print(format_table(["dataset", "model", "fw", "epoch", "total", "acc"], rows,
+                       title=f"Table V ({args.folds} folds, {args.epochs} epoch cap)"))
+    _write_outputs(args, results)
+
+
+def _run_breakdown(args, dataset: str) -> None:
+    grid = breakdown_sweep(
+        dataset,
+        args.batch_sizes,
+        models=args.models,
+        frameworks=args.frameworks,
+        num_graphs=args.num_graphs,
+        n_epochs=1,
+    )
+    bars = {}
+    for (framework, model, batch_size), run in sorted(grid.items()):
+        row = breakdown_row(run)
+        bars[f"{model}/{framework}/b{batch_size}"] = {k: v * 1e3 for k, v in row.items()}
+    print(
+        stacked_bars(
+            bars,
+            segments=list(PHASE_ORDER),
+            unit="ms",
+            title=f"Execution-time breakdown per epoch, {dataset}",
+        )
+    )
+
+
+def _run_resource(args, observable: str) -> None:
+    """Fig. 4 (memory) / Fig. 5 (utilisation) over the ENZYMES grid."""
+    grid = breakdown_sweep(
+        "enzymes",
+        args.batch_sizes,
+        models=args.models,
+        frameworks=args.frameworks,
+        num_graphs=args.num_graphs,
+        n_epochs=1,
+    )
+    rows = []
+    for (framework, model, batch_size), run in sorted(grid.items()):
+        value = (
+            f"{run.peak_memory / 1e6:.0f}MB"
+            if observable == "memory"
+            else f"{run.gpu_utilization * 100:.1f}%"
+        )
+        rows.append([model, framework, str(batch_size), value])
+    title = "Fig. 4: peak memory" if observable == "memory" else "Fig. 5: GPU utilisation"
+    print(format_table(["model", "fw", "batch", observable], rows, title=title))
+
+
+def _run_fig3(args) -> None:
+    scopes = ["conv1", "conv2", "conv3", "conv4", "pooling", "classifier", "other"]
+    rows = []
+    for model in args.models:
+        for framework in args.frameworks:
+            profile = layerwise_profile(
+                framework, model, "enzymes", batch_size=128, num_graphs=args.num_graphs
+            )
+            rows.append([model, framework] + [f"{profile[s] * 1e6:.0f}" for s in scopes])
+    print(format_table(["model", "fw"] + [f"{s}(us)" for s in scopes], rows,
+                       title="Fig. 3: layer execution time, one ENZYMES batch"))
+
+
+def _run_fig6(args) -> None:
+    series = multigpu_series(
+        models=[m for m in args.models if m in ("gcn", "gat")] or ["gcn", "gat"],
+        frameworks=args.frameworks,
+        batch_sizes=args.batch_sizes if args.batch_sizes != [64, 128, 256] else [128, 256, 512],
+        num_graphs=args.num_graphs or 1000,
+        max_batches=2,
+    )
+    rows = []
+    keys = sorted({(m, f, b) for (f, m, b, _) in series})
+    for model, framework, batch in keys:
+        times = [series[(framework, model, batch, n)] for n in (1, 2, 4, 8)]
+        rows.append([model, framework, str(batch)] + [f"{t * 1e3:.0f}" for t in times])
+    print(format_table(["model", "fw", "batch", "1gpu", "2gpu", "4gpu", "8gpu"], rows,
+                       title="Fig. 6: epoch time (ms) vs GPU count, MNIST"))
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = _parser().parse_args(argv)
+    if args.experiment == "table1":
+        _run_table1(args)
+    elif args.experiment == "table4":
+        _run_table4(args)
+    elif args.experiment == "table5":
+        _run_table5(args)
+    elif args.experiment == "fig1":
+        _run_breakdown(args, "enzymes")
+    elif args.experiment == "fig2":
+        _run_breakdown(args, "dd")
+    elif args.experiment == "fig3":
+        _run_fig3(args)
+    elif args.experiment == "fig4":
+        _run_resource(args, "memory")
+    elif args.experiment == "fig5":
+        _run_resource(args, "utilisation")
+    elif args.experiment == "fig6":
+        _run_fig6(args)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

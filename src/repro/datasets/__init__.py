@@ -1,0 +1,59 @@
+"""Synthetic stand-ins for the paper's five datasets (Table I)."""
+
+from repro.datasets.analysis import (
+    GraphProfile,
+    degree_histogram,
+    edge_homophily,
+    feature_class_separation,
+    label_entropy,
+    profile_graph,
+)
+from repro.datasets.base import GraphClassificationDataset, NodeClassificationDataset
+from repro.datasets.io import load_saved_dataset, save_dataset
+from repro.datasets.citation import CORA_SPEC, PUBMED_SPEC, cora, make_citation_dataset, pubmed
+from repro.datasets.registry import (
+    ALL_DATASETS,
+    GRAPH_DATASETS,
+    NODE_DATASETS,
+    clear_cache,
+    load_dataset,
+)
+from repro.datasets.splits import kfold_splits, planetoid_split, stratified_folds
+from repro.datasets.statistics import DatasetStatistics, compute_statistics
+from repro.datasets.superpixel import FULL_MNIST_SIZE, mnist_superpixels
+from repro.datasets.tud import DD_SPEC, ENZYMES_SPEC, dd, enzymes, make_tu_dataset
+
+__all__ = [
+    "NodeClassificationDataset",
+    "GraphClassificationDataset",
+    "cora",
+    "pubmed",
+    "make_citation_dataset",
+    "CORA_SPEC",
+    "PUBMED_SPEC",
+    "enzymes",
+    "dd",
+    "make_tu_dataset",
+    "ENZYMES_SPEC",
+    "DD_SPEC",
+    "mnist_superpixels",
+    "FULL_MNIST_SIZE",
+    "load_dataset",
+    "clear_cache",
+    "ALL_DATASETS",
+    "NODE_DATASETS",
+    "GRAPH_DATASETS",
+    "kfold_splits",
+    "planetoid_split",
+    "stratified_folds",
+    "compute_statistics",
+    "DatasetStatistics",
+    "GraphProfile",
+    "profile_graph",
+    "edge_homophily",
+    "degree_histogram",
+    "label_entropy",
+    "feature_class_separation",
+    "save_dataset",
+    "load_saved_dataset",
+]

@@ -1,0 +1,97 @@
+"""Structural analysis of datasets.
+
+Used to sanity-check the synthetic generators against known properties of
+the originals (homophily of citation graphs, degree profiles of the TU
+sets) and exposed as a public utility for downstream dataset inspection.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Union
+
+import numpy as np
+
+from repro.datasets.base import GraphClassificationDataset, NodeClassificationDataset
+from repro.graph import GraphSample
+
+
+@dataclass(frozen=True)
+class GraphProfile:
+    """Structural summary of one graph."""
+
+    num_nodes: int
+    num_edges_directed: int
+    mean_degree: float
+    max_degree: int
+    isolated_nodes: int
+    density: float
+
+
+def profile_graph(graph: GraphSample) -> GraphProfile:
+    """Compute the structural profile of one graph."""
+    degrees = graph.in_degrees() + graph.out_degrees()
+    n = graph.num_nodes
+    possible = n * (n - 1) if n > 1 else 1
+    return GraphProfile(
+        num_nodes=n,
+        num_edges_directed=graph.num_edges,
+        mean_degree=float(degrees.mean()) if n else 0.0,
+        max_degree=int(degrees.max()) if n else 0,
+        isolated_nodes=int((degrees == 0).sum()),
+        density=graph.num_edges / possible,
+    )
+
+
+def edge_homophily(dataset: NodeClassificationDataset) -> float:
+    """Fraction of edges joining same-label nodes.
+
+    Real Cora measures ~0.81, PubMed ~0.80; the synthetic stand-ins are
+    generated with comparable homophily so message passing helps the same
+    way.
+    """
+    graph = dataset.graph
+    labels = np.asarray(graph.y)
+    if graph.num_edges == 0:
+        return 0.0
+    src, dst = graph.edge_index
+    return float((labels[src] == labels[dst]).mean())
+
+
+def degree_histogram(graph: GraphSample, max_bins: int = 20) -> np.ndarray:
+    """In-degree histogram clipped to ``max_bins`` (last bin = overflow)."""
+    degrees = np.minimum(graph.in_degrees(), max_bins - 1)
+    return np.bincount(degrees, minlength=max_bins)
+
+
+def label_entropy(dataset: Union[NodeClassificationDataset, GraphClassificationDataset]) -> float:
+    """Shannon entropy of the label distribution, in bits."""
+    if isinstance(dataset, NodeClassificationDataset):
+        labels = np.asarray(dataset.graph.y)
+    else:
+        labels = dataset.labels
+    counts = np.bincount(labels)
+    probs = counts[counts > 0] / counts.sum()
+    return float(-(probs * np.log2(probs)).sum())
+
+
+def feature_class_separation(dataset: GraphClassificationDataset) -> float:
+    """Ratio of between-class to within-class spread of graph-mean features.
+
+    A quick proxy for how learnable the feature channel is under mean
+    readout — the number the difficulty calibration in
+    :mod:`repro.datasets.tud` controls.
+    """
+    means = np.stack([g.x.mean(axis=0) for g in dataset.graphs])
+    labels = dataset.labels
+    class_means = np.stack(
+        [means[labels == c].mean(axis=0) for c in np.unique(labels)]
+    )
+    between = np.linalg.norm(class_means - class_means.mean(axis=0), axis=1).mean()
+    within = np.mean(
+        [
+            np.linalg.norm(means[labels == c] - class_means[i], axis=1).mean()
+            for i, c in enumerate(np.unique(labels))
+        ]
+    )
+    return float(between / max(within, 1e-12))

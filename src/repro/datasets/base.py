@@ -1,0 +1,90 @@
+"""Dataset containers for the two task families in the paper."""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Sequence
+
+import numpy as np
+
+from repro.graph import GraphSample
+
+
+class NodeClassificationDataset:
+    """A single graph with per-node labels and fixed index splits.
+
+    Mirrors the Planetoid (Cora/PubMed) setting of Section IV-A: small fixed
+    train split, 500 validation and 1000 test nodes, full-batch training.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        graph: GraphSample,
+        num_classes: int,
+        train_idx: np.ndarray,
+        val_idx: np.ndarray,
+        test_idx: np.ndarray,
+    ) -> None:
+        self.name = name
+        self.graph = graph
+        self.num_classes = num_classes
+        self.train_idx = np.asarray(train_idx, dtype=np.int64)
+        self.val_idx = np.asarray(val_idx, dtype=np.int64)
+        self.test_idx = np.asarray(test_idx, dtype=np.int64)
+        labels = np.asarray(graph.y)
+        if labels.shape != (graph.num_nodes,):
+            raise ValueError("node classification labels must be per-node")
+        for split in (self.train_idx, self.val_idx, self.test_idx):
+            if split.size and (split.min() < 0 or split.max() >= graph.num_nodes):
+                raise ValueError("split index out of range")
+
+    @property
+    def num_features(self) -> int:
+        return self.graph.num_features
+
+    def __repr__(self) -> str:
+        return (
+            f"NodeClassificationDataset({self.name!r}, nodes={self.graph.num_nodes}, "
+            f"classes={self.num_classes})"
+        )
+
+
+class GraphClassificationDataset:
+    """A list of labelled graphs (TU-style / superpixel datasets)."""
+
+    def __init__(self, name: str, graphs: Sequence[GraphSample], num_classes: int) -> None:
+        if not graphs:
+            raise ValueError("dataset needs at least one graph")
+        self.name = name
+        self.graphs: List[GraphSample] = list(graphs)
+        self.num_classes = num_classes
+        for g in self.graphs:
+            if not isinstance(g.y, (int, np.integer)):
+                raise ValueError("graph classification labels must be ints")
+
+    @property
+    def labels(self) -> np.ndarray:
+        return np.array([g.y for g in self.graphs], dtype=np.int64)
+
+    @property
+    def num_features(self) -> int:
+        return self.graphs[0].num_features
+
+    def __len__(self) -> int:
+        return len(self.graphs)
+
+    def __getitem__(self, index: int) -> GraphSample:
+        return self.graphs[index]
+
+    def __iter__(self) -> Iterator[GraphSample]:
+        return iter(self.graphs)
+
+    def subset(self, indices: np.ndarray) -> List[GraphSample]:
+        """Graphs at the given indices (used by split-based loaders)."""
+        return [self.graphs[i] for i in np.asarray(indices, dtype=np.int64)]
+
+    def __repr__(self) -> str:
+        return (
+            f"GraphClassificationDataset({self.name!r}, n={len(self)}, "
+            f"classes={self.num_classes})"
+        )

@@ -1,0 +1,76 @@
+"""Dataset persistence to ``.npz`` archives.
+
+Generation of the synthetic datasets costs seconds (PubMed, DD) — enough to
+matter across many processes.  These helpers serialise any dataset to a
+single compressed archive and restore it exactly, so pipelines can generate
+once and reload.
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+import numpy as np
+
+from repro.datasets.base import GraphClassificationDataset, NodeClassificationDataset
+from repro.graph import GraphSample
+
+Dataset = Union[NodeClassificationDataset, GraphClassificationDataset]
+
+
+def save_dataset(dataset: Dataset, path) -> None:
+    """Write a dataset to a compressed ``.npz`` archive."""
+    payload = {"name": np.array(dataset.name), "num_classes": np.array(dataset.num_classes)}
+    if isinstance(dataset, NodeClassificationDataset):
+        payload["kind"] = np.array("node")
+        g = dataset.graph
+        payload["x"] = g.x
+        payload["edge_index"] = g.edge_index
+        payload["labels"] = np.asarray(g.y)
+        payload["train_idx"] = dataset.train_idx
+        payload["val_idx"] = dataset.val_idx
+        payload["test_idx"] = dataset.test_idx
+    else:
+        payload["kind"] = np.array("graph")
+        payload["n_graphs"] = np.array(len(dataset))
+        for i, g in enumerate(dataset.graphs):
+            payload[f"x_{i}"] = g.x
+            payload[f"edge_index_{i}"] = g.edge_index
+            payload[f"y_{i}"] = np.array(g.y)
+            if g.pos is not None:
+                payload[f"pos_{i}"] = g.pos
+    np.savez_compressed(path, **payload)
+
+
+def load_saved_dataset(path) -> Dataset:
+    """Restore a dataset written by :func:`save_dataset`."""
+    with np.load(path, allow_pickle=False) as archive:
+        kind = str(archive["kind"])
+        name = str(archive["name"])
+        num_classes = int(archive["num_classes"])
+        if kind == "node":
+            graph = GraphSample(
+                archive["edge_index"], archive["x"], archive["labels"].astype(np.int64)
+            )
+            return NodeClassificationDataset(
+                name,
+                graph,
+                num_classes,
+                archive["train_idx"],
+                archive["val_idx"],
+                archive["test_idx"],
+            )
+        if kind != "graph":
+            raise ValueError(f"unknown dataset kind {kind!r}")
+        graphs = []
+        for i in range(int(archive["n_graphs"])):
+            pos = archive[f"pos_{i}"] if f"pos_{i}" in archive.files else None
+            graphs.append(
+                GraphSample(
+                    archive[f"edge_index_{i}"],
+                    archive[f"x_{i}"],
+                    int(archive[f"y_{i}"]),
+                    pos=pos,
+                )
+            )
+        return GraphClassificationDataset(name, graphs, num_classes)

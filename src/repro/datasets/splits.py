@@ -1,0 +1,68 @@
+"""Dataset split utilities.
+
+The graph-classification experiments use a stratified 10-fold
+cross-validation with train/val/test in ratio 8:1:1 (Section IV-B.1); the
+node-classification experiments use the fixed Planetoid-style splits
+(Section IV-A).
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import numpy as np
+
+Split = Tuple[np.ndarray, np.ndarray, np.ndarray]
+
+
+def stratified_folds(labels: np.ndarray, k: int, rng: np.random.Generator) -> List[np.ndarray]:
+    """Partition indices into ``k`` folds preserving the class distribution."""
+    labels = np.asarray(labels)
+    if k < 2:
+        raise ValueError("need at least 2 folds")
+    folds: List[List[int]] = [[] for _ in range(k)]
+    for c in np.unique(labels):
+        members = np.flatnonzero(labels == c)
+        members = members[rng.permutation(len(members))]
+        for i, chunk in enumerate(np.array_split(members, k)):
+            folds[(i + int(c)) % k].extend(chunk.tolist())
+    return [np.sort(np.array(f, dtype=np.int64)) for f in folds]
+
+
+def kfold_splits(labels: np.ndarray, k: int, rng: np.random.Generator) -> List[Split]:
+    """10-fold CV splits: fold ``i`` is test, fold ``i+1`` validation.
+
+    Matches the protocol of Dwivedi et al. that the paper adopts: the same
+    saved indices are reused across every experiment for fair comparison.
+    """
+    folds = stratified_folds(labels, k, rng)
+    splits: List[Split] = []
+    for i in range(k):
+        test = folds[i]
+        val = folds[(i + 1) % k]
+        train = np.concatenate([folds[j] for j in range(k) if j not in (i, (i + 1) % k)])
+        splits.append((np.sort(train), val, test))
+    return splits
+
+
+def planetoid_split(
+    labels: np.ndarray,
+    train_per_class: int,
+    n_val: int,
+    n_test: int,
+    rng: np.random.Generator,
+) -> Split:
+    """Fixed split: ``train_per_class`` per class, then val and test pools."""
+    labels = np.asarray(labels)
+    train: List[int] = []
+    for c in np.unique(labels):
+        members = np.flatnonzero(labels == c)
+        if len(members) < train_per_class:
+            raise ValueError(f"class {c} has fewer than {train_per_class} nodes")
+        train.extend(rng.choice(members, size=train_per_class, replace=False).tolist())
+    train_arr = np.array(sorted(train), dtype=np.int64)
+    rest = np.setdiff1d(np.arange(len(labels)), train_arr)
+    rest = rest[rng.permutation(len(rest))]
+    if len(rest) < n_val + n_test:
+        raise ValueError("not enough nodes for the requested val/test sizes")
+    return train_arr, np.sort(rest[:n_val]), np.sort(rest[n_val : n_val + n_test])

@@ -1,0 +1,64 @@
+"""Dataset statistics (Table I of the paper)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Union
+
+import numpy as np
+
+from repro.datasets.base import GraphClassificationDataset, NodeClassificationDataset
+
+Dataset = Union[NodeClassificationDataset, GraphClassificationDataset]
+
+
+@dataclass(frozen=True)
+class DatasetStatistics:
+    """One column of Table I."""
+
+    name: str
+    num_graphs: int
+    avg_nodes: float
+    avg_edges: float
+    num_features: int
+    num_classes: int
+
+    def row(self) -> List[str]:
+        return [
+            self.name,
+            str(self.num_graphs),
+            f"{self.avg_nodes:.2f}",
+            f"{self.avg_edges:.2f}",
+            str(self.num_features),
+            str(self.num_classes),
+        ]
+
+
+def compute_statistics(dataset: Dataset, reported_num_graphs: int = 0) -> DatasetStatistics:
+    """Compute Table I statistics.
+
+    Edge counts are reported as *undirected* edges (directed count / 2) to
+    match the convention of Table I.  ``reported_num_graphs`` lets callers
+    that generated a subset report the full configured size (the MNIST bench
+    samples a subset of the 70 000-graph dataset; see EXPERIMENTS.md).
+    """
+    if isinstance(dataset, NodeClassificationDataset):
+        g = dataset.graph
+        return DatasetStatistics(
+            name=dataset.name,
+            num_graphs=1,
+            avg_nodes=float(g.num_nodes),
+            avg_edges=g.num_edges / 2.0,
+            num_features=g.num_features,
+            num_classes=dataset.num_classes,
+        )
+    nodes = np.array([g.num_nodes for g in dataset.graphs], dtype=np.float64)
+    edges = np.array([g.num_edges for g in dataset.graphs], dtype=np.float64)
+    return DatasetStatistics(
+        name=dataset.name,
+        num_graphs=reported_num_graphs or len(dataset),
+        avg_nodes=float(nodes.mean()),
+        avg_edges=float(edges.mean()) / 2.0,
+        num_features=dataset.num_features,
+        num_classes=dataset.num_classes,
+    )

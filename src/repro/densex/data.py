@@ -1,0 +1,81 @@
+"""Dense batching: one block-diagonal adjacency matrix per batch."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.device import current_device
+from repro.graph import GraphSample
+from repro.tensor import Tensor
+
+
+class DenseBatch:
+    """A batch as dense tensors: features, normalised adjacency, pooling.
+
+    ``adj`` is the symmetrically normalised block-diagonal adjacency with
+    self loops (``D^-1/2 (A + I) D^-1/2``) — an ``(N, N)`` float tensor.
+    ``pool`` is the ``(B, N)`` mean-pooling matrix, so graph readout is one
+    more dense matmul, as a general-purpose framework would do it.
+    """
+
+    def __init__(self, x: Tensor, adj: Tensor, pool: Tensor, y: np.ndarray) -> None:
+        self.x = x
+        self.adj = adj
+        self.pool = pool
+        self.y = y
+
+    @property
+    def num_nodes(self) -> int:
+        return len(self.x)
+
+    @property
+    def num_graphs(self) -> int:
+        return len(self.y)
+
+
+def dense_batch(samples: Sequence[GraphSample]) -> DenseBatch:
+    """Collate graphs into dense tensors (quadratic in total node count)."""
+    if not samples:
+        raise ValueError("cannot batch an empty list of graphs")
+    device = current_device()
+    costs = device.host_costs
+
+    total_nodes = sum(g.num_nodes for g in samples)
+    x = np.concatenate([g.x for g in samples], axis=0)
+    adj = np.zeros((total_nodes, total_nodes), dtype=np.float32)
+    pool = np.zeros((len(samples), total_nodes), dtype=np.float32)
+
+    offset = 0
+    for i, g in enumerate(samples):
+        n = g.num_nodes
+        block = slice(offset, offset + n)
+        src, dst = g.edge_index
+        adj[offset + dst, offset + src] = 1.0
+        adj[block, block][np.arange(n), np.arange(n)] = 1.0  # self loops
+        idx = np.arange(offset, offset + n)
+        adj[idx, idx] = 1.0
+        pool[i, block] = 1.0 / n
+        offset += n
+
+    deg = np.maximum(adj.sum(axis=1), 1.0)
+    inv_sqrt = 1.0 / np.sqrt(deg)
+    adj *= inv_sqrt[:, None]
+    adj *= inv_sqrt[None, :]
+
+    nbytes = x.nbytes + adj.nbytes + pool.nbytes
+    # Collation itself is cheap (no per-type bookkeeping), but the dense
+    # materialisation moves O(N^2) bytes to the device.
+    device.host(
+        costs.pyg_batch_base
+        + costs.pyg_batch_per_graph * len(samples)
+        + costs.batch_per_byte * nbytes
+    )
+    device.transfer(nbytes)
+    return DenseBatch(
+        x=Tensor(x),
+        adj=Tensor(adj),
+        pool=Tensor(pool),
+        y=np.array([g.y for g in samples]),
+    )

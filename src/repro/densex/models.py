@@ -1,0 +1,62 @@
+"""Dense GCN: spectral-style ``A_hat @ X @ W`` with dense matmuls."""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.densex.data import DenseBatch
+from repro.models import MLPReadout, ModelConfig
+from repro.nn import Linear, Module
+from repro.tensor import Tensor, relu
+
+
+class DenseGCNConv(Module):
+    """One GCN layer as two dense matmuls: ``relu(A_hat @ (X W))``."""
+
+    def __init__(self, d_in: int, d_out: int, rng, activation: bool = True) -> None:
+        super().__init__()
+        self.linear = Linear(d_in, d_out, rng=rng)
+        self.activation = activation
+
+    def forward(self, adj: Tensor, x: Tensor) -> Tensor:
+        h = self.linear(x)
+        out = adj @ h  # (N, N) @ (N, F): the quadratic step
+        return relu(out) if self.activation else out
+
+
+class DenseGCNNet(Module):
+    """GCN stack on dense adjacency; mean readout via the pooling matmul."""
+
+    def __init__(self, config: ModelConfig, rng: Optional[np.random.Generator] = None):
+        super().__init__()
+        if config.model != "gcn":
+            raise ValueError("the dense baseline implements GCN only")
+        self.config = config
+        rng = rng or np.random.default_rng()
+        dims: List[Tuple[int, int]] = []
+        width_in = config.in_dim
+        for i in range(config.n_layers):
+            last = i == config.n_layers - 1
+            width_out = config.out_dim if last else config.hidden
+            dims.append((width_in, width_out))
+            width_in = width_out
+        self.conv_names: List[str] = []
+        for i, (d_in, d_out) in enumerate(dims):
+            name = f"conv{i + 1}"
+            last = i == config.n_layers - 1
+            activation = not (last and config.task == "node")
+            setattr(self, name, DenseGCNConv(d_in, d_out, rng, activation=activation))
+            self.conv_names.append(name)
+        if config.task == "graph":
+            self.classifier = MLPReadout(config.out_dim, config.n_classes, rng=rng)
+
+    def forward(self, batch: DenseBatch) -> Tensor:
+        x = batch.x
+        for name in self.conv_names:
+            x = getattr(self, name)(batch.adj, x)
+        if self.config.task == "node":
+            return x
+        hg = batch.pool @ x  # dense mean readout
+        return self.classifier(hg)

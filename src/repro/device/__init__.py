@@ -1,0 +1,51 @@
+"""Simulated hardware substrate: GPU spec, clock, memory, profiler.
+
+The paper measures real 2080Ti GPUs with nvprof/Nsight/nvidia-smi.  This
+package provides the simulated equivalents; see DESIGN.md section 2 for the
+substitution rationale.
+"""
+
+from repro.device.clock import ClockSnapshot, SimClock
+from repro.device.core import Device, current_device, set_device, use_device
+from repro.device.gpu import GPUSpec, RTX_2080TI, TOY_GPU
+from repro.device.host import DEFAULT_HOST_COSTS, HostCostModel
+from repro.device.kernel import KernelRecord, Profiler
+from repro.device.memory import MemoryPool, OutOfMemoryError
+from repro.device.multigpu import DataParallelPlan, charge_iteration_overhead
+from repro.device.timeline import to_chrome_trace, write_chrome_trace
+from repro.device.trace_analysis import (
+    KernelStats,
+    duration_percentiles,
+    kernel_stats,
+    launch_bound_fraction,
+    overlap_bound,
+    top_kernels,
+)
+
+__all__ = [
+    "ClockSnapshot",
+    "SimClock",
+    "Device",
+    "current_device",
+    "set_device",
+    "use_device",
+    "GPUSpec",
+    "RTX_2080TI",
+    "TOY_GPU",
+    "HostCostModel",
+    "DEFAULT_HOST_COSTS",
+    "KernelRecord",
+    "Profiler",
+    "MemoryPool",
+    "OutOfMemoryError",
+    "DataParallelPlan",
+    "charge_iteration_overhead",
+    "to_chrome_trace",
+    "write_chrome_trace",
+    "KernelStats",
+    "kernel_stats",
+    "top_kernels",
+    "launch_bound_fraction",
+    "duration_percentiles",
+    "overlap_bound",
+]

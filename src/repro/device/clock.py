@@ -1,0 +1,120 @@
+"""Simulated wall clock for the device model.
+
+The clock tracks two quantities:
+
+* ``elapsed`` — total simulated wall time.  Host work and kernel launch
+  overhead advance it, and so do kernel durations (the execution model is
+  serial: GNN training in both frameworks studied by the paper is effectively
+  synchronous, which is exactly why the paper observes low GPU utilisation).
+* ``gpu_busy`` — the portion of elapsed time during which the GPU executed a
+  kernel.  The paper's Eq. (5) defines GPU utilisation as
+  ``gpu_busy / elapsed``; :meth:`SimClock.utilization` implements it.
+
+The clock also attributes elapsed time to a stack of *phases* ("data_loading",
+"forward", ...) so trainers can regenerate the execution-time breakdown of
+Fig. 1 and Fig. 2 without any extra bookkeeping in model code.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Dict, Iterator, List, Optional
+
+
+class SimClock:
+    """Accumulates simulated host and GPU time, attributed to phases."""
+
+    def __init__(self) -> None:
+        self.elapsed: float = 0.0
+        self.gpu_busy: float = 0.0
+        self._phase_stack: List[str] = []
+        self.phase_elapsed: Dict[str, float] = {}
+        self.phase_gpu_busy: Dict[str, float] = {}
+
+    # ------------------------------------------------------------------
+    # time advancement
+    # ------------------------------------------------------------------
+    def advance_host(self, seconds: float) -> None:
+        """Advance wall time by host-side work (CPU, no GPU activity)."""
+        if seconds < 0:
+            raise ValueError(f"cannot advance the clock by {seconds!r}s")
+        self.elapsed += seconds
+        phase = self.current_phase
+        if phase is not None:
+            self.phase_elapsed[phase] = self.phase_elapsed.get(phase, 0.0) + seconds
+
+    def advance_gpu(self, seconds: float) -> None:
+        """Advance wall time by a kernel execution (GPU busy)."""
+        if seconds < 0:
+            raise ValueError(f"cannot advance the clock by {seconds!r}s")
+        self.elapsed += seconds
+        self.gpu_busy += seconds
+        phase = self.current_phase
+        if phase is not None:
+            self.phase_elapsed[phase] = self.phase_elapsed.get(phase, 0.0) + seconds
+            self.phase_gpu_busy[phase] = self.phase_gpu_busy.get(phase, 0.0) + seconds
+
+    # ------------------------------------------------------------------
+    # phases
+    # ------------------------------------------------------------------
+    @property
+    def current_phase(self) -> Optional[str]:
+        """The innermost active phase, or ``None`` outside any phase."""
+        return self._phase_stack[-1] if self._phase_stack else None
+
+    @contextmanager
+    def phase(self, name: str) -> Iterator[None]:
+        """Attribute all time advanced inside the block to ``name``."""
+        self._phase_stack.append(name)
+        try:
+            yield
+        finally:
+            popped = self._phase_stack.pop()
+            assert popped == name
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def utilization(self) -> float:
+        """GPU compute utilisation per the paper's Eq. (5), in [0, 1]."""
+        if self.elapsed == 0.0:
+            return 0.0
+        return self.gpu_busy / self.elapsed
+
+    def snapshot(self) -> "ClockSnapshot":
+        """Capture the current counters for later differencing."""
+        return ClockSnapshot(
+            elapsed=self.elapsed,
+            gpu_busy=self.gpu_busy,
+            phase_elapsed=dict(self.phase_elapsed),
+        )
+
+    def reset(self) -> None:
+        """Zero all counters.  Phase stack must be empty."""
+        if self._phase_stack:
+            raise RuntimeError("cannot reset the clock inside an active phase")
+        self.elapsed = 0.0
+        self.gpu_busy = 0.0
+        self.phase_elapsed.clear()
+        self.phase_gpu_busy.clear()
+
+
+class ClockSnapshot:
+    """Immutable capture of a :class:`SimClock`, supporting differencing."""
+
+    def __init__(self, elapsed: float, gpu_busy: float, phase_elapsed: Dict[str, float]):
+        self.elapsed = elapsed
+        self.gpu_busy = gpu_busy
+        self.phase_elapsed = phase_elapsed
+
+    def delta(self, clock: SimClock) -> "ClockSnapshot":
+        """Return counters accumulated on ``clock`` since this snapshot."""
+        phases = {
+            name: clock.phase_elapsed.get(name, 0.0) - self.phase_elapsed.get(name, 0.0)
+            for name in set(self.phase_elapsed) | set(clock.phase_elapsed)
+        }
+        return ClockSnapshot(
+            elapsed=clock.elapsed - self.elapsed,
+            gpu_busy=clock.gpu_busy - self.gpu_busy,
+            phase_elapsed=phases,
+        )

@@ -1,0 +1,151 @@
+"""The simulated device: clock + memory + profiler behind one handle.
+
+Every tensor operation in :mod:`repro.tensor` reports itself here via
+:meth:`Device.launch`; data loaders report CPU work via :meth:`Device.host`.
+A module-level *current device* (settable with :func:`use_device`) plays the
+role of the CUDA current-device context.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Iterator, List, Optional, Tuple
+
+from repro.device.clock import SimClock
+from repro.device.gpu import GPUSpec, RTX_2080TI, kernel_efficiency
+from repro.device.host import DEFAULT_HOST_COSTS, HostCostModel
+from repro.device.kernel import KernelRecord, Profiler
+from repro.device.memory import MemoryPool
+
+
+class Device:
+    """A simulated GPU plus its host, observed through one clock."""
+
+    def __init__(
+        self,
+        spec: GPUSpec = RTX_2080TI,
+        host_costs: HostCostModel = DEFAULT_HOST_COSTS,
+    ) -> None:
+        self.spec = spec
+        self.host_costs = host_costs
+        self.clock = SimClock()
+        self.memory = MemoryPool(spec.memory_bytes)
+        self.profiler = Profiler()
+        self._scope_stack: List[str] = []
+        #: Wall time (host + GPU) attributed to each active scope stack —
+        #: the layer-execution-time observable of the paper's Fig. 3.
+        self.scope_elapsed: dict = {}
+
+    # ------------------------------------------------------------------
+    # kernel and host work
+    # ------------------------------------------------------------------
+    def launch(self, name: str, flops: float = 0.0, bytes_moved: float = 0.0) -> float:
+        """Simulate one kernel launch; returns the kernel duration.
+
+        The host pays the launch overhead (driver + framework dispatch) and
+        the GPU is then busy for the roofline duration.  The serial model —
+        launch, then wait — matches the low-utilisation regime the paper
+        measures for GNN training.
+        """
+        self.clock.advance_host(self.spec.launch_overhead)
+        duration = self.spec.kernel_time(flops, bytes_moved, kernel_efficiency(name))
+        self.clock.advance_gpu(duration)
+        self._attribute_scope(self.spec.launch_overhead + duration)
+        self.profiler.record(
+            KernelRecord(
+                name=name,
+                scope=tuple(self._scope_stack),
+                duration=duration,
+                flops=flops,
+                bytes_moved=bytes_moved,
+                timestamp=self.clock.elapsed,
+            )
+        )
+        return duration
+
+    def host(self, seconds: float) -> None:
+        """Charge host-side (CPU) work to the clock."""
+        self.clock.advance_host(seconds)
+        self._attribute_scope(seconds)
+
+    def _attribute_scope(self, seconds: float) -> None:
+        if self._scope_stack:
+            key = tuple(self._scope_stack)
+            self.scope_elapsed[key] = self.scope_elapsed.get(key, 0.0) + seconds
+
+    def scope_component_time(self, component: str, since: Optional[dict] = None) -> float:
+        """Elapsed time spent in scopes containing ``component``.
+
+        ``since`` is an earlier copy of :attr:`scope_elapsed` to difference
+        against (pass ``dict(device.scope_elapsed)`` taken before the
+        region of interest).
+        """
+        total = 0.0
+        for key, value in self.scope_elapsed.items():
+            if component in key:
+                total += value - (since or {}).get(key, 0.0)
+        return total
+
+    def transfer(self, nbytes: float) -> None:
+        """Charge a PCIe transfer (host<->device or peer-to-peer)."""
+        self.clock.advance_host(self.spec.transfer_time(nbytes))
+
+    # ------------------------------------------------------------------
+    # scopes (used by nn.Module for Fig. 3 layer-wise attribution)
+    # ------------------------------------------------------------------
+    @contextmanager
+    def scope(self, name: str) -> Iterator[None]:
+        """Tag kernels launched inside the block with ``name``."""
+        self._scope_stack.append(name)
+        try:
+            yield
+        finally:
+            self._scope_stack.pop()
+
+    @property
+    def current_scope(self) -> Tuple[str, ...]:
+        return tuple(self._scope_stack)
+
+    # ------------------------------------------------------------------
+    # memory
+    # ------------------------------------------------------------------
+    def track(self, array) -> None:
+        """Account a numpy buffer against device memory (freed on GC)."""
+        self.memory.track(array)
+
+    # ------------------------------------------------------------------
+    def reset(self) -> None:
+        """Reset clock, profiler records and the memory high-water mark."""
+        self.clock.reset()
+        self.profiler.clear()
+        self.memory.reset_peak()
+        self.scope_elapsed.clear()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Device({self.spec.name!r}, elapsed={self.clock.elapsed:.6f}s)"
+
+
+_CURRENT: Device = Device()
+
+
+def current_device() -> Device:
+    """Return the active simulated device."""
+    return _CURRENT
+
+
+def set_device(device: Device) -> None:
+    """Replace the active simulated device."""
+    global _CURRENT
+    _CURRENT = device
+
+
+@contextmanager
+def use_device(device: Device) -> Iterator[Device]:
+    """Temporarily make ``device`` the active device."""
+    global _CURRENT
+    previous = _CURRENT
+    _CURRENT = device
+    try:
+        yield device
+    finally:
+        _CURRENT = previous

@@ -1,0 +1,79 @@
+"""Kernel launch records and the scoped profiler.
+
+The paper collects per-kernel timings with nvprof / Nsight Compute and
+aggregates them per conv layer (Fig. 3).  We reproduce that observable by
+recording every simulated kernel launch together with the *scope stack*
+active at launch time.  Model layers push their name onto the scope stack in
+``Module.__call__``, so a record's scope looks like
+``("GCNNet", "layers.0", "linear")`` and Fig. 3 is a group-by over prefixes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+
+@dataclass(frozen=True)
+class KernelRecord:
+    """One simulated kernel launch."""
+
+    name: str
+    scope: Tuple[str, ...]
+    duration: float
+    flops: float
+    bytes_moved: float
+    timestamp: float
+
+    def in_scope(self, prefix: Sequence[str]) -> bool:
+        """True if this kernel ran under the given scope prefix."""
+        prefix = tuple(prefix)
+        return self.scope[: len(prefix)] == prefix
+
+
+class Profiler:
+    """Collects :class:`KernelRecord` objects when enabled.
+
+    Recording is off by default so long training runs do not accumulate
+    unbounded lists; benches enable it around the single step they want to
+    dissect (mirroring how the paper profiles one training batch).
+    """
+
+    def __init__(self) -> None:
+        self.enabled: bool = False
+        self.records: List[KernelRecord] = []
+
+    def record(self, record: KernelRecord) -> None:
+        if self.enabled:
+            self.records.append(record)
+
+    def clear(self) -> None:
+        self.records.clear()
+
+    # ------------------------------------------------------------------
+    # aggregation helpers used by the Fig. 3 bench
+    # ------------------------------------------------------------------
+    def total_time(self, prefix: Optional[Sequence[str]] = None) -> float:
+        """Sum of kernel durations, optionally restricted to a scope prefix."""
+        if prefix is None:
+            return sum(r.duration for r in self.records)
+        return sum(r.duration for r in self.records if r.in_scope(prefix))
+
+    def time_by_top_scope(self, depth: int = 1) -> Dict[Tuple[str, ...], float]:
+        """Aggregate kernel time by the first ``depth`` scope components."""
+        out: Dict[Tuple[str, ...], float] = {}
+        for r in self.records:
+            key = r.scope[:depth]
+            out[key] = out.get(key, 0.0) + r.duration
+        return out
+
+    def time_by_kernel(self) -> Dict[str, float]:
+        """Aggregate kernel time by kernel name (e.g. ``gspmm``)."""
+        out: Dict[str, float] = {}
+        for r in self.records:
+            out[r.name] = out.get(r.name, 0.0) + r.duration
+        return out
+
+    def time_by_scope_component(self, component: str) -> float:
+        """Kernel time for records whose scope contains ``component``."""
+        return sum(r.duration for r in self.records if component in r.scope)

@@ -1,0 +1,84 @@
+"""Simulated device memory pool with peak tracking.
+
+Every tensor (and gradient buffer) that the engine materialises "on the GPU"
+registers its byte size here.  Buffers are released when the owning numpy
+array is garbage collected, which mirrors the lifetime behaviour of a real
+caching allocator closely enough for the paper's purposes: activations stay
+alive through the backward pass because the autograd graph references them,
+so the peak naturally lands at the end of the forward pass, exactly where
+PyTorch's peak sits.
+
+The paper reads peak usage off ``nvidia-smi``; benchmarks here read it off
+:meth:`MemoryPool.peak`.
+"""
+
+from __future__ import annotations
+
+import weakref
+from typing import Any
+
+
+class OutOfMemoryError(RuntimeError):
+    """Raised when an allocation would exceed the device capacity."""
+
+
+class MemoryPool:
+    """Tracks current and peak simulated memory usage of one device."""
+
+    def __init__(self, capacity_bytes: int) -> None:
+        if capacity_bytes <= 0:
+            raise ValueError("device capacity must be positive")
+        self.capacity = capacity_bytes
+        self.current: int = 0
+        self._peak: int = 0
+        # numpy arrays are unhashable, so track identities; the finalizer
+        # removes the id at the same moment the bytes are freed, which makes
+        # CPython id reuse safe.
+        self._tracked: set = set()
+
+    # ------------------------------------------------------------------
+    def alloc(self, nbytes: int) -> None:
+        """Reserve ``nbytes``; raises :class:`OutOfMemoryError` on overflow."""
+        if nbytes < 0:
+            raise ValueError("allocation size must be non-negative")
+        if self.current + nbytes > self.capacity:
+            raise OutOfMemoryError(
+                f"device out of memory: requested {nbytes} bytes, "
+                f"{self.capacity - self.current} free of {self.capacity}"
+            )
+        self.current += nbytes
+        if self.current > self._peak:
+            self._peak = self.current
+
+    def free(self, nbytes: int) -> None:
+        """Release ``nbytes`` previously reserved with :meth:`alloc`."""
+        self.current = max(0, self.current - nbytes)
+
+    def track(self, array: Any) -> None:
+        """Account ``array`` (a numpy ndarray) against this pool.
+
+        The bytes are freed automatically when the array is garbage
+        collected.  Tracking the same array twice is a no-op, so wrapping an
+        already-tracked buffer in a second view or Tensor is safe.
+        """
+        key = id(array)
+        if key in self._tracked:
+            return
+        nbytes = int(array.nbytes)
+        self.alloc(nbytes)
+        self._tracked.add(key)
+        weakref.finalize(array, self._release, key, nbytes)
+
+    def _release(self, key: int, nbytes: int) -> None:
+        self._tracked.discard(key)
+        self.free(nbytes)
+
+    # ------------------------------------------------------------------
+    @property
+    def peak(self) -> int:
+        """High-water mark of simulated usage, in bytes."""
+        return self._peak
+
+    def reset_peak(self) -> None:
+        """Reset the high-water mark to the current usage."""
+        self._peak = self.current

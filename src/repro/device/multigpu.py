@@ -1,0 +1,64 @@
+"""DataParallel simulation for the multi-GPU experiment (Fig. 6).
+
+Both frameworks in the paper parallelise over GPUs with PyTorch's
+``DataParallel``: every iteration the module's parameters are broadcast from
+GPU 0 to all replicas, the input mini-batch is scattered, replicas run
+forward/backward in parallel, outputs are gathered and gradients reduced back
+to GPU 0.
+
+We simulate one iteration as::
+
+    t = broadcast(params, n) + scatter(inputs, n)
+        + compute(batch / n)          # replicas run in parallel
+        + gather(outputs, n) + reduce(grads, n)
+
+``compute(batch / n)`` is obtained by *actually running* the model on one
+representative sub-batch (replicas are symmetric, so wall time equals the
+slowest — here, the measured — replica).  Transfer terms use the PCIe model;
+DataParallel's sequential scatter/gather loop over replicas makes the
+overhead grow with ``n``, which is what flattens and then reverses the
+scaling between 4 and 8 GPUs in Fig. 6.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.device.core import Device
+
+
+@dataclass(frozen=True)
+class DataParallelPlan:
+    """Communication plan for one DataParallel iteration."""
+
+    n_gpus: int
+    param_bytes: int
+    input_bytes: int
+    output_bytes: int
+
+    def __post_init__(self) -> None:
+        if self.n_gpus < 1:
+            raise ValueError("n_gpus must be >= 1")
+
+
+def charge_iteration_overhead(device: Device, plan: DataParallelPlan) -> float:
+    """Charge the communication cost of one DataParallel iteration.
+
+    Returns the seconds charged.  With one GPU there is no communication,
+    matching ``DataParallel``'s single-device fast path.
+    """
+    if plan.n_gpus == 1:
+        return 0.0
+    n = plan.n_gpus
+    spec = device.spec
+    seconds = 0.0
+    # Broadcast parameters to each non-root replica (sequential copies).
+    seconds += (n - 1) * spec.transfer_time(plan.param_bytes)
+    # Scatter: each replica receives 1/n of the batch.
+    seconds += n * spec.transfer_time(plan.input_bytes / n)
+    # Gather outputs back to the root.
+    seconds += n * spec.transfer_time(plan.output_bytes / n)
+    # Reduce gradients (same size as parameters) from each replica.
+    seconds += (n - 1) * spec.transfer_time(plan.param_bytes)
+    device.host(seconds)
+    return seconds

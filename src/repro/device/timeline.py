@@ -1,0 +1,50 @@
+"""Chrome-trace timeline export of profiled kernels.
+
+The paper reads kernel timelines out of nvprof; the equivalent artefact
+here is a ``chrome://tracing`` / Perfetto JSON built from the profiler's
+kernel records.  Each kernel becomes a complete event on the "GPU" track,
+named and bucketed by its innermost scope.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import List
+
+from repro.device.kernel import KernelRecord
+
+
+def to_chrome_trace(records: List[KernelRecord]) -> str:
+    """Render kernel records as a Chrome trace JSON string.
+
+    Timestamps/durations are microseconds, as the trace format requires.
+    ``timestamp`` marks each kernel's *end* on the simulated clock, so the
+    start is ``end - duration``.
+    """
+    events = []
+    for record in records:
+        end_us = record.timestamp * 1e6
+        dur_us = record.duration * 1e6
+        events.append(
+            {
+                "name": record.name,
+                "cat": "/".join(record.scope) or "unscoped",
+                "ph": "X",
+                "ts": end_us - dur_us,
+                "dur": dur_us,
+                "pid": 0,
+                "tid": 0,
+                "args": {
+                    "flops": record.flops,
+                    "bytes": record.bytes_moved,
+                    "scope": list(record.scope),
+                },
+            }
+        )
+    return json.dumps({"traceEvents": events, "displayTimeUnit": "ms"})
+
+
+def write_chrome_trace(records: List[KernelRecord], path) -> None:
+    """Write the trace JSON to ``path``."""
+    with open(path, "w") as fh:
+        fh.write(to_chrome_trace(records))

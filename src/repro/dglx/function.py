@@ -1,0 +1,76 @@
+"""DGL-style message and reduce function builtins.
+
+DGL users express message passing as ``g.update_all(fn.u_mul_e('h', 'a',
+'m'), fn.sum('m', 'out'))``; the framework pattern-matches these specs and
+lowers them to fused GSpMM/GSDDMM kernels.  We reproduce that API surface
+with small spec objects consumed by :meth:`repro.dglx.heterograph.DGLGraph.
+update_all` and ``apply_edges``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class MessageFunc:
+    """Message function spec: how to form per-edge messages."""
+
+    op: str  # "copy_u" | "u_mul_e"
+    src_field: str
+    edge_field: str  # "" when unused
+    out_field: str
+
+
+@dataclass(frozen=True)
+class ReduceFunc:
+    """Reduce function spec: how to aggregate messages per destination."""
+
+    op: str  # "sum" | "mean"
+    msg_field: str
+    out_field: str
+
+
+@dataclass(frozen=True)
+class EdgeFunc:
+    """Edge-wise binary op spec for ``apply_edges``."""
+
+    op: str  # "u_add_v" | "u_dot_v"
+    src_field: str
+    dst_field: str
+    out_field: str
+
+
+def copy_u(src_field: str, out_field: str) -> MessageFunc:
+    """Message = source node feature."""
+    return MessageFunc("copy_u", src_field, "", out_field)
+
+
+def u_mul_e(src_field: str, edge_field: str, out_field: str) -> MessageFunc:
+    """Message = source node feature * edge feature (broadcast)."""
+    return MessageFunc("u_mul_e", src_field, edge_field, out_field)
+
+
+def sum(msg_field: str, out_field: str) -> ReduceFunc:  # noqa: A001
+    """Sum messages per destination node."""
+    return ReduceFunc("sum", msg_field, out_field)
+
+
+def mean(msg_field: str, out_field: str) -> ReduceFunc:
+    """Average messages per destination node."""
+    return ReduceFunc("mean", msg_field, out_field)
+
+
+def max(msg_field: str, out_field: str) -> ReduceFunc:  # noqa: A001
+    """Max-reduce messages per destination node."""
+    return ReduceFunc("max", msg_field, out_field)
+
+
+def u_add_v(src_field: str, dst_field: str, out_field: str) -> EdgeFunc:
+    """Per-edge sum of source and destination node features."""
+    return EdgeFunc("u_add_v", src_field, dst_field, out_field)
+
+
+def u_dot_v(src_field: str, dst_field: str, out_field: str) -> EdgeFunc:
+    """Per-edge dot product of source and destination node features."""
+    return EdgeFunc("u_dot_v", src_field, dst_field, out_field)

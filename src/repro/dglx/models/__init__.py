@@ -1,0 +1,50 @@
+"""The six paper models implemented DGL-style."""
+
+from typing import Optional
+
+import numpy as np
+
+from repro.dglx.models.base import DGLXNet
+from repro.dglx.models.gat import GATConv, GATNet
+from repro.dglx.models.gatedgcn import GatedGCNConv, GatedGCNNet
+from repro.dglx.models.gcn import GCNNet, GraphConv
+from repro.dglx.models.gin import GINConv, GINNet
+from repro.dglx.models.monet import GMMConv, MoNetNet
+from repro.dglx.models.sage import SAGEConv, SAGENet
+from repro.models import ModelConfig
+
+_NETS = {
+    "gcn": GCNNet,
+    "gin": GINNet,
+    "sage": SAGENet,
+    "gat": GATNet,
+    "monet": MoNetNet,
+    "gatedgcn": GatedGCNNet,
+}
+
+
+def build_model(config: ModelConfig, rng: Optional[np.random.Generator] = None) -> DGLXNet:
+    """Instantiate the DGL-style net for ``config.model``."""
+    try:
+        net_cls = _NETS[config.model]
+    except KeyError:
+        raise KeyError(f"unknown model {config.model!r}; options: {sorted(_NETS)}") from None
+    return net_cls(config, rng)
+
+
+__all__ = [
+    "build_model",
+    "DGLXNet",
+    "GCNNet",
+    "GraphConv",
+    "GINNet",
+    "GINConv",
+    "SAGENet",
+    "SAGEConv",
+    "GATNet",
+    "GATConv",
+    "MoNetNet",
+    "GMMConv",
+    "GatedGCNNet",
+    "GatedGCNConv",
+]

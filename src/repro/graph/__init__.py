@@ -1,0 +1,25 @@
+"""Framework-neutral graph containers and random structure generators."""
+
+from repro.graph.generators import (
+    clique_motif,
+    connected_chain_backbone,
+    knn_edges,
+    planted_partition,
+    random_regularish,
+    ring_motif,
+    star_motif,
+)
+from repro.graph.graph import GraphSample, dedupe_edges, undirected_edge_index
+
+__all__ = [
+    "GraphSample",
+    "undirected_edge_index",
+    "dedupe_edges",
+    "planted_partition",
+    "random_regularish",
+    "connected_chain_backbone",
+    "ring_motif",
+    "clique_motif",
+    "star_motif",
+    "knn_edges",
+]

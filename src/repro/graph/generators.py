@@ -1,0 +1,106 @@
+"""Random graph structure generators used by the synthetic datasets.
+
+Each generator returns an undirected edge list ``(src, dst)`` with
+``src < dst`` per edge and no duplicates; callers expand to both directions
+with :func:`repro.graph.graph.undirected_edge_index`.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.graph.graph import dedupe_edges
+
+
+def planted_partition(
+    labels: np.ndarray,
+    n_edges: int,
+    intra_fraction: float,
+    rng: np.random.Generator,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Community graph: ``intra_fraction`` of edges stay within a class.
+
+    Used for the synthetic citation networks — real Cora/PubMed are strongly
+    homophilous, which is what lets GNN message passing help classification.
+    """
+    if not 0.0 <= intra_fraction <= 1.0:
+        raise ValueError("intra_fraction must be in [0, 1]")
+    labels = np.asarray(labels)
+    n = len(labels)
+    n_intra = int(n_edges * intra_fraction)
+    by_class = [np.flatnonzero(labels == c) for c in np.unique(labels)]
+    class_sizes = np.array([len(ix) for ix in by_class], dtype=np.float64)
+    class_prob = class_sizes / class_sizes.sum()
+
+    # Intra-class endpoints: pick a class by size, then two members.
+    classes = rng.choice(len(by_class), size=n_intra, p=class_prob)
+    src_intra = np.empty(n_intra, dtype=np.int64)
+    dst_intra = np.empty(n_intra, dtype=np.int64)
+    for c, members in enumerate(by_class):
+        mask = classes == c
+        count = int(mask.sum())
+        if count == 0:
+            continue
+        src_intra[mask] = rng.choice(members, size=count)
+        dst_intra[mask] = rng.choice(members, size=count)
+
+    n_inter = n_edges - n_intra
+    src_inter = rng.integers(0, n, size=n_inter)
+    dst_inter = rng.integers(0, n, size=n_inter)
+
+    src = np.concatenate([src_intra, src_inter])
+    dst = np.concatenate([dst_intra, dst_inter])
+    return dedupe_edges(src, dst, n)
+
+
+def random_regularish(
+    n_nodes: int, avg_degree: float, rng: np.random.Generator
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Sparse Erdos-Renyi-style graph with the given average degree."""
+    n_edges = max(1, int(round(n_nodes * avg_degree / 2.0)))
+    src = rng.integers(0, n_nodes, size=2 * n_edges)
+    dst = rng.integers(0, n_nodes, size=2 * n_edges)
+    s, d = dedupe_edges(src, dst, n_nodes)
+    return s[:n_edges], d[:n_edges]
+
+
+def connected_chain_backbone(n_nodes: int, rng: np.random.Generator):
+    """A random spanning chain guaranteeing connectivity."""
+    order = rng.permutation(n_nodes)
+    return order[:-1].astype(np.int64), order[1:].astype(np.int64)
+
+
+def ring_motif(offset: int, size: int) -> Tuple[np.ndarray, np.ndarray]:
+    """Cycle over nodes ``offset .. offset+size-1``."""
+    ids = np.arange(offset, offset + size, dtype=np.int64)
+    return ids, np.roll(ids, -1)
+
+
+def clique_motif(offset: int, size: int) -> Tuple[np.ndarray, np.ndarray]:
+    """Complete subgraph over ``size`` nodes starting at ``offset``."""
+    ids = np.arange(offset, offset + size, dtype=np.int64)
+    src, dst = np.triu_indices(size, k=1)
+    return ids[src], ids[dst]
+
+
+def star_motif(offset: int, size: int) -> Tuple[np.ndarray, np.ndarray]:
+    """Hub-and-spoke subgraph over ``size`` nodes starting at ``offset``."""
+    ids = np.arange(offset, offset + size, dtype=np.int64)
+    return np.full(size - 1, ids[0], dtype=np.int64), ids[1:]
+
+
+def knn_edges(points: np.ndarray, k: int) -> Tuple[np.ndarray, np.ndarray]:
+    """Undirected k-nearest-neighbour edges over 2-D ``points``."""
+    n = len(points)
+    if n <= 1:
+        return np.empty(0, np.int64), np.empty(0, np.int64)
+    k = min(k, n - 1)
+    diff = points[:, None, :] - points[None, :, :]
+    dist = np.square(diff).sum(axis=-1)
+    np.fill_diagonal(dist, np.inf)
+    neighbours = np.argpartition(dist, k - 1, axis=1)[:, :k]
+    src = np.repeat(np.arange(n, dtype=np.int64), k)
+    dst = neighbours.reshape(-1).astype(np.int64)
+    return dedupe_edges(src, dst, n)

@@ -1,0 +1,21 @@
+"""Shared model configuration (Tables II/III) and common heads."""
+
+from repro.models.config import (
+    ANISOTROPIC,
+    ISOTROPIC,
+    MODEL_NAMES,
+    ModelConfig,
+    graph_config,
+    node_config,
+)
+from repro.models.mlp import MLPReadout
+
+__all__ = [
+    "ModelConfig",
+    "node_config",
+    "graph_config",
+    "MODEL_NAMES",
+    "ISOTROPIC",
+    "ANISOTROPIC",
+    "MLPReadout",
+]

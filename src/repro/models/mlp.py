@@ -1,0 +1,41 @@
+"""Graph classifier head shared by both framework packs.
+
+Section IV-B.4: "a graph classifier layer which first builds a graph
+representation by averaging all node features extracted from the last GNN
+layer and then passing this graph representation to an MLP."  The MLP halves
+its width twice (the Dwivedi et al. MLPReadout the paper's setup follows).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.nn import Linear, Module, ModuleList, ReLU
+from repro.tensor import Tensor
+
+
+class MLPReadout(Module):
+    """``in -> in/2 -> in/4 -> n_classes`` with ReLU between layers."""
+
+    def __init__(
+        self,
+        in_dim: int,
+        n_classes: int,
+        n_halvings: int = 2,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        super().__init__()
+        rng = rng or np.random.default_rng()
+        dims = [in_dim] + [max(in_dim // 2 ** (i + 1), n_classes) for i in range(n_halvings)]
+        self.hidden_layers = ModuleList(
+            Linear(a, b, rng=rng) for a, b in zip(dims[:-1], dims[1:])
+        )
+        self.out = Linear(dims[-1], n_classes, rng=rng)
+        self.act = ReLU()
+
+    def forward(self, x: Tensor) -> Tensor:
+        for layer in self.hidden_layers:
+            x = self.act(layer(x))
+        return self.out(x)

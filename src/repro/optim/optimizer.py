@@ -1,0 +1,32 @@
+"""Optimizer base class."""
+
+from __future__ import annotations
+
+from typing import Iterable, List
+
+from repro.device import current_device
+from repro.nn.module import Parameter
+
+
+class Optimizer:
+    """Holds a parameter list and the common step/zero_grad plumbing."""
+
+    def __init__(self, params: Iterable[Parameter], lr: float) -> None:
+        self.params: List[Parameter] = list(params)
+        if not self.params:
+            raise ValueError("optimizer got an empty parameter list")
+        if lr <= 0:
+            raise ValueError(f"learning rate must be positive, got {lr}")
+        self.lr = lr
+
+    def zero_grad(self) -> None:
+        for p in self.params:
+            p.grad = None
+
+    def step(self) -> None:
+        device = current_device()
+        device.host(device.host_costs.optimizer_step_base)
+        self._step()
+
+    def _step(self) -> None:
+        raise NotImplementedError

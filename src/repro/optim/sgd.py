@@ -1,0 +1,42 @@
+"""Plain SGD with optional momentum (baseline optimizer)."""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+import numpy as np
+
+from repro.device import current_device
+from repro.nn.module import Parameter
+from repro.optim.optimizer import Optimizer
+
+
+class SGD(Optimizer):
+    def __init__(
+        self,
+        params: Iterable[Parameter],
+        lr: float,
+        momentum: float = 0.0,
+        weight_decay: float = 0.0,
+    ) -> None:
+        super().__init__(params, lr)
+        self.momentum = momentum
+        self.weight_decay = weight_decay
+        self._velocity = [np.zeros_like(p.data) for p in self.params]
+
+    def _step(self) -> None:
+        device = current_device()
+        for p, vel in zip(self.params, self._velocity):
+            if p.grad is None:
+                continue
+            grad = p.grad
+            if self.weight_decay:
+                grad = grad + self.weight_decay * p.data
+            n = grad.size
+            device.launch("sgd_update", 2.0 * n, 12.0 * n)
+            if self.momentum:
+                vel *= self.momentum
+                vel += grad
+                p.data -= self.lr * vel
+            else:
+                p.data -= self.lr * grad

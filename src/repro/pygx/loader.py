@@ -1,0 +1,55 @@
+"""Mini-batch loader for the PyG-style framework."""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Optional, Sequence
+
+import numpy as np
+
+from repro.device import current_device
+from repro.graph import GraphSample
+from repro.pygx.data import Batch, Data
+
+
+class DataLoader:
+    """Iterates PyG-style :class:`Batch` objects over a list of graphs.
+
+    Collation happens under the clock's ``data_loading`` phase so trainers
+    get the Fig. 1/2 breakdown for free.
+    """
+
+    def __init__(
+        self,
+        graphs: Sequence[GraphSample],
+        batch_size: int,
+        shuffle: bool = False,
+        rng: Optional[np.random.Generator] = None,
+        drop_last: bool = False,
+    ) -> None:
+        if batch_size <= 0:
+            raise ValueError("batch_size must be positive")
+        self.data: List[Data] = [Data.from_sample(g) for g in graphs]
+        self.batch_size = batch_size
+        self.shuffle = shuffle
+        self.rng = rng or np.random.default_rng()
+        self.drop_last = drop_last
+
+    def __len__(self) -> int:
+        n = len(self.data)
+        if self.drop_last:
+            return n // self.batch_size
+        return (n + self.batch_size - 1) // self.batch_size
+
+    def __iter__(self) -> Iterator[Batch]:
+        device = current_device()
+        order = np.arange(len(self.data))
+        if self.shuffle:
+            order = self.rng.permutation(len(self.data))
+        for start in range(0, len(order), self.batch_size):
+            indices = order[start : start + self.batch_size]
+            if self.drop_last and len(indices) < self.batch_size:
+                break
+            with device.clock.phase("data_loading"):
+                device.host(device.host_costs.fetch_per_graph * len(indices))
+                batch = Batch.from_data_list([self.data[i] for i in indices])
+            yield batch

@@ -1,0 +1,50 @@
+"""The six paper models implemented PyG-style."""
+
+from typing import Optional
+
+import numpy as np
+
+from repro.models import ModelConfig
+from repro.pygx.models.base import PyGXNet
+from repro.pygx.models.gat import GATConv, GATNet
+from repro.pygx.models.gatedgcn import GatedGCNConv, GatedGCNNet
+from repro.pygx.models.gcn import GCNConv, GCNNet
+from repro.pygx.models.gin import GINConv, GINNet
+from repro.pygx.models.monet import GMMConv, MoNetNet
+from repro.pygx.models.sage import SAGEConv, SAGENet
+
+_NETS = {
+    "gcn": GCNNet,
+    "gin": GINNet,
+    "sage": SAGENet,
+    "gat": GATNet,
+    "monet": MoNetNet,
+    "gatedgcn": GatedGCNNet,
+}
+
+
+def build_model(config: ModelConfig, rng: Optional[np.random.Generator] = None) -> PyGXNet:
+    """Instantiate the PyG-style net for ``config.model``."""
+    try:
+        net_cls = _NETS[config.model]
+    except KeyError:
+        raise KeyError(f"unknown model {config.model!r}; options: {sorted(_NETS)}") from None
+    return net_cls(config, rng)
+
+
+__all__ = [
+    "build_model",
+    "PyGXNet",
+    "GCNNet",
+    "GCNConv",
+    "GINNet",
+    "GINConv",
+    "SAGENet",
+    "SAGEConv",
+    "GATNet",
+    "GATConv",
+    "MoNetNet",
+    "GMMConv",
+    "GatedGCNNet",
+    "GatedGCNConv",
+]

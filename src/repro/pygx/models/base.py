@@ -1,0 +1,77 @@
+"""Common skeleton for the PyG-style model pack.
+
+Every net is: input dropout (node task) -> ``conv1`` .. ``convL`` -> either
+per-node logits (node classification, the last conv maps to classes) or a
+mean-pool readout plus MLP classifier (graph classification, Section
+IV-B.4).  Conv layers are registered as attributes ``conv1``..``convL`` so
+profiler scopes line up with the paper's Fig. 3 labels.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.device import current_device
+from repro.models import MLPReadout, ModelConfig
+from repro.nn import Dropout, Module
+from repro.pygx.data import Batch
+from repro.pygx.pool import global_add_pool, global_max_pool, global_mean_pool
+from repro.tensor import Tensor
+
+
+class PyGXNet(Module):
+    """Base class; subclasses implement :meth:`build_conv` and dims."""
+
+    def __init__(self, config: ModelConfig, rng: Optional[np.random.Generator] = None):
+        super().__init__()
+        self.config = config
+        rng = rng or np.random.default_rng()
+        self.dropout = Dropout(config.dropout, rng=rng) if config.dropout else None
+        self.conv_names: List[str] = []
+        for i, (d_in, d_out) in enumerate(self.layer_dims(config)):
+            name = f"conv{i + 1}"
+            setattr(self, name, self.build_conv(i, d_in, d_out, config, rng))
+            self.conv_names.append(name)
+        if config.task == "graph":
+            self.classifier = MLPReadout(config.out_dim, config.n_classes, rng=rng)
+
+    # ------------------------------------------------------------------
+    def layer_dims(self, config: ModelConfig) -> List[Tuple[int, int]]:
+        """(in, out) feature widths per conv layer; subclasses may override."""
+        dims: List[Tuple[int, int]] = []
+        width_in = config.in_dim
+        for i in range(config.n_layers):
+            last = i == config.n_layers - 1
+            width_out = config.out_dim if last else config.hidden
+            dims.append((width_in, width_out))
+            width_in = width_out
+        return dims
+
+    def build_conv(self, index: int, d_in: int, d_out: int, config: ModelConfig, rng):
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------
+    def forward(self, batch: Batch) -> Tensor:
+        x = batch.x
+        for name in self.conv_names:
+            if self.dropout is not None:
+                x = self.dropout(x)
+            x = getattr(self, name)(x, batch.edge_index, batch.num_nodes)
+        if self.config.task == "node":
+            return x
+        with current_device().scope("pooling"):
+            hg = self._readout(x, batch)
+        return self.classifier(hg)
+
+    def _readout(self, x: Tensor, batch: Batch) -> Tensor:
+        """Graph readout per ``config.readout`` (Table II/III: mean)."""
+        readout = self.config.readout
+        if readout == "mean":
+            return global_mean_pool(x, batch.batch, batch.num_graphs)
+        if readout == "sum":
+            return global_add_pool(x, batch.batch, batch.num_graphs)
+        if readout == "max":
+            return global_max_pool(x, batch.batch, batch.num_graphs)
+        raise ValueError(f"unknown readout {readout!r}")

@@ -1,0 +1,29 @@
+"""Edge softmax for the PyG-style framework.
+
+Normalises per-edge scores over the incoming edges of each destination
+node, composed from scatter/gather primitives exactly as
+``torch_geometric.utils.softmax`` is: a max-reduce for stability, a gather,
+an exp, a sum-reduce, a gather and a divide — six kernel launches.  The
+DGL-style framework fuses this (see :mod:`repro.dglx.softmax`), one of the
+op-count differences behind Fig. 3.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.tensor import Tensor, exp, index_rows, ops, scatter_max, scatter_sum
+
+
+def edge_softmax(scores: Tensor, dst: np.ndarray, num_nodes: int) -> Tensor:
+    """Softmax of ``scores`` grouped by destination node.
+
+    ``scores`` has shape ``(E, ...)`` (e.g. ``(E, H)`` for multi-head
+    attention); groups are the incoming-edge sets of each node.
+    """
+    score_max = scatter_max(scores, dst, num_nodes)
+    shifted = ops.sub(scores, index_rows(score_max, dst))
+    exp_scores = exp(shifted)
+    denom = scatter_sum(exp_scores, dst, num_nodes)
+    denom = ops.clamp_min(index_rows(denom, dst), 1e-16)
+    return ops.div(exp_scores, denom)

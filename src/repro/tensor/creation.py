@@ -1,0 +1,58 @@
+"""Tensor creation helpers (zeros, ones, random) with explicit RNG control.
+
+All random creation takes a ``numpy.random.Generator`` so experiments are
+reproducible seed-for-seed; the trainers create one generator per run.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Union
+
+import numpy as np
+
+from repro.tensor.tensor import Tensor
+
+Shape = Union[int, Sequence[int]]
+
+
+def _shape(shape: Shape) -> tuple:
+    if isinstance(shape, int):
+        return (shape,)
+    return tuple(shape)
+
+
+def zeros(shape: Shape, requires_grad: bool = False) -> Tensor:
+    return Tensor(np.zeros(_shape(shape), dtype=np.float32), requires_grad=requires_grad)
+
+
+def ones(shape: Shape, requires_grad: bool = False) -> Tensor:
+    return Tensor(np.ones(_shape(shape), dtype=np.float32), requires_grad=requires_grad)
+
+
+def full(shape: Shape, value: float, requires_grad: bool = False) -> Tensor:
+    return Tensor(
+        np.full(_shape(shape), value, dtype=np.float32), requires_grad=requires_grad
+    )
+
+
+def randn(
+    shape: Shape,
+    rng: Optional[np.random.Generator] = None,
+    std: float = 1.0,
+    requires_grad: bool = False,
+) -> Tensor:
+    rng = rng or np.random.default_rng()
+    data = rng.normal(0.0, std, size=_shape(shape)).astype(np.float32)
+    return Tensor(data, requires_grad=requires_grad)
+
+
+def uniform(
+    shape: Shape,
+    low: float,
+    high: float,
+    rng: Optional[np.random.Generator] = None,
+    requires_grad: bool = False,
+) -> Tensor:
+    rng = rng or np.random.default_rng()
+    data = rng.uniform(low, high, size=_shape(shape)).astype(np.float32)
+    return Tensor(data, requires_grad=requires_grad)

@@ -1,0 +1,463 @@
+"""Dense tensor operations: arithmetic, activations, reductions, shape.
+
+Each operation computes with numpy and reports one forward kernel (and its
+backward kernels, when they run) to the simulated device.  FLOP and byte
+estimates follow the usual conventions: an elementwise op touches each input
+and output once; a matmul of ``(n, k) @ (k, m)`` costs ``2nkm`` FLOPs.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.tensor.tensor import Tensor, launch_backward, make_op, unbroadcast
+
+Axis = Union[None, int, Tuple[int, ...]]
+
+_F32 = 4  # bytes per element
+
+
+def _ew_cost(out: np.ndarray, n_inputs: int = 2) -> Tuple[float, float]:
+    """(flops, bytes) for an elementwise kernel producing ``out``."""
+    return float(out.size), float(_F32 * (n_inputs + 1) * out.size)
+
+
+# ----------------------------------------------------------------------
+# arithmetic
+# ----------------------------------------------------------------------
+def add(a: Tensor, b: Tensor) -> Tensor:
+    out = a.data + b.data
+    flops, nbytes = _ew_cost(out)
+
+    def backward(grad: np.ndarray):
+        launch_backward("add_backward", *_ew_cost(grad))
+        return unbroadcast(grad, a.shape), unbroadcast(grad, b.shape)
+
+    return make_op("add", out, (a, b), backward, flops, nbytes)
+
+
+def sub(a: Tensor, b: Tensor) -> Tensor:
+    out = a.data - b.data
+    flops, nbytes = _ew_cost(out)
+
+    def backward(grad: np.ndarray):
+        launch_backward("sub_backward", *_ew_cost(grad))
+        return unbroadcast(grad, a.shape), unbroadcast(-grad, b.shape)
+
+    return make_op("sub", out, (a, b), backward, flops, nbytes)
+
+
+def mul(a: Tensor, b: Tensor) -> Tensor:
+    out = a.data * b.data
+    flops, nbytes = _ew_cost(out)
+
+    def backward(grad: np.ndarray):
+        launch_backward("mul_backward", *_ew_cost(grad))
+        return (
+            unbroadcast(grad * b.data, a.shape),
+            unbroadcast(grad * a.data, b.shape),
+        )
+
+    return make_op("mul", out, (a, b), backward, flops, nbytes)
+
+
+def div(a: Tensor, b: Tensor) -> Tensor:
+    out = a.data / b.data
+    flops, nbytes = _ew_cost(out)
+
+    def backward(grad: np.ndarray):
+        launch_backward("div_backward", *_ew_cost(grad))
+        return (
+            unbroadcast(grad / b.data, a.shape),
+            unbroadcast(-grad * a.data / (b.data * b.data), b.shape),
+        )
+
+    return make_op("div", out, (a, b), backward, flops, nbytes)
+
+
+def neg(a: Tensor) -> Tensor:
+    out = -a.data
+    flops, nbytes = _ew_cost(out, 1)
+
+    def backward(grad: np.ndarray):
+        launch_backward("neg_backward", *_ew_cost(grad, 1))
+        return (-grad,)
+
+    return make_op("neg", out, (a,), backward, flops, nbytes)
+
+
+def pow_scalar(a: Tensor, exponent: float) -> Tensor:
+    out = a.data**exponent
+    flops, nbytes = _ew_cost(out, 1)
+
+    def backward(grad: np.ndarray):
+        launch_backward("pow_backward", *_ew_cost(grad, 1))
+        return (grad * exponent * a.data ** (exponent - 1.0),)
+
+    return make_op("pow", out, (a,), backward, flops, nbytes)
+
+
+def exp(a: Tensor) -> Tensor:
+    out = np.exp(a.data)
+    flops, nbytes = _ew_cost(out, 1)
+
+    def backward(grad: np.ndarray):
+        launch_backward("exp_backward", *_ew_cost(grad, 1))
+        return (grad * out,)
+
+    return make_op("exp", out, (a,), backward, flops, nbytes)
+
+
+def log(a: Tensor) -> Tensor:
+    out = np.log(a.data)
+    flops, nbytes = _ew_cost(out, 1)
+
+    def backward(grad: np.ndarray):
+        launch_backward("log_backward", *_ew_cost(grad, 1))
+        return (grad / a.data,)
+
+    return make_op("log", out, (a,), backward, flops, nbytes)
+
+
+def sqrt(a: Tensor) -> Tensor:
+    out = np.sqrt(a.data)
+    flops, nbytes = _ew_cost(out, 1)
+
+    def backward(grad: np.ndarray):
+        launch_backward("sqrt_backward", *_ew_cost(grad, 1))
+        return (grad * 0.5 / np.maximum(out, 1e-12),)
+
+    return make_op("sqrt", out, (a,), backward, flops, nbytes)
+
+
+def matmul(a: Tensor, b: Tensor) -> Tensor:
+    if a.ndim != 2 or b.ndim != 2:
+        raise ValueError(f"matmul expects 2-D operands, got {a.shape} @ {b.shape}")
+    n, k = a.shape
+    k2, m = b.shape
+    if k != k2:
+        raise ValueError(f"matmul shape mismatch: {a.shape} @ {b.shape}")
+    out = a.data @ b.data
+    flops = 2.0 * n * k * m
+    nbytes = float(_F32 * (n * k + k * m + n * m))
+
+    def backward(grad: np.ndarray):
+        launch_backward("matmul_backward_a", 2.0 * n * m * k, _F32 * (n * m + k * m + n * k))
+        launch_backward("matmul_backward_b", 2.0 * k * n * m, _F32 * (n * k + n * m + k * m))
+        return grad @ b.data.T, a.data.T @ grad
+
+    return make_op("matmul", out, (a, b), backward, flops, nbytes)
+
+
+# ----------------------------------------------------------------------
+# activations
+# ----------------------------------------------------------------------
+def relu(a: Tensor) -> Tensor:
+    out = np.maximum(a.data, 0.0)
+    flops, nbytes = _ew_cost(out, 1)
+
+    def backward(grad: np.ndarray):
+        launch_backward("relu_backward", *_ew_cost(grad, 1))
+        return (grad * (a.data > 0.0),)
+
+    return make_op("relu", out, (a,), backward, flops, nbytes)
+
+
+def leaky_relu(a: Tensor, negative_slope: float = 0.01) -> Tensor:
+    out = np.where(a.data > 0.0, a.data, negative_slope * a.data)
+    flops, nbytes = _ew_cost(out, 1)
+
+    def backward(grad: np.ndarray):
+        launch_backward("leaky_relu_backward", *_ew_cost(grad, 1))
+        return (grad * np.where(a.data > 0.0, 1.0, negative_slope).astype(np.float32),)
+
+    return make_op("leaky_relu", out, (a,), backward, flops, nbytes)
+
+
+def elu(a: Tensor, alpha: float = 1.0) -> Tensor:
+    out = np.where(a.data > 0.0, a.data, alpha * (np.exp(np.minimum(a.data, 0.0)) - 1.0))
+    out = out.astype(np.float32)
+    flops, nbytes = _ew_cost(out, 1)
+
+    def backward(grad: np.ndarray):
+        launch_backward("elu_backward", *_ew_cost(grad, 1))
+        local = np.where(a.data > 0.0, 1.0, out + alpha).astype(np.float32)
+        return (grad * local,)
+
+    return make_op("elu", out, (a,), backward, flops, nbytes)
+
+
+def sigmoid(a: Tensor) -> Tensor:
+    out = 1.0 / (1.0 + np.exp(-a.data))
+    out = out.astype(np.float32)
+    flops, nbytes = _ew_cost(out, 1)
+
+    def backward(grad: np.ndarray):
+        launch_backward("sigmoid_backward", *_ew_cost(grad, 1))
+        return (grad * out * (1.0 - out),)
+
+    return make_op("sigmoid", out, (a,), backward, flops, nbytes)
+
+
+def tanh(a: Tensor) -> Tensor:
+    out = np.tanh(a.data)
+    flops, nbytes = _ew_cost(out, 1)
+
+    def backward(grad: np.ndarray):
+        launch_backward("tanh_backward", *_ew_cost(grad, 1))
+        return (grad * (1.0 - out * out),)
+
+    return make_op("tanh", out, (a,), backward, flops, nbytes)
+
+
+def softmax(a: Tensor, axis: int = -1) -> Tensor:
+    shifted = a.data - a.data.max(axis=axis, keepdims=True)
+    e = np.exp(shifted)
+    out = (e / e.sum(axis=axis, keepdims=True)).astype(np.float32)
+    flops = 4.0 * out.size
+    nbytes = float(_F32 * 2 * out.size)
+
+    def backward(grad: np.ndarray):
+        launch_backward("softmax_backward", 4.0 * grad.size, _F32 * 3 * grad.size)
+        dot = (grad * out).sum(axis=axis, keepdims=True)
+        return ((grad - dot) * out,)
+
+    return make_op("softmax", out, (a,), backward, flops, nbytes)
+
+
+def log_softmax(a: Tensor, axis: int = -1) -> Tensor:
+    shifted = a.data - a.data.max(axis=axis, keepdims=True)
+    log_sum = np.log(np.exp(shifted).sum(axis=axis, keepdims=True))
+    out = (shifted - log_sum).astype(np.float32)
+    flops = 4.0 * out.size
+    nbytes = float(_F32 * 2 * out.size)
+
+    def backward(grad: np.ndarray):
+        launch_backward("log_softmax_backward", 4.0 * grad.size, _F32 * 3 * grad.size)
+        softmax_out = np.exp(out)
+        return (grad - softmax_out * grad.sum(axis=axis, keepdims=True),)
+
+    return make_op("log_softmax", out, (a,), backward, flops, nbytes)
+
+
+# ----------------------------------------------------------------------
+# reductions
+# ----------------------------------------------------------------------
+def sum(a: Tensor, axis: Axis = None, keepdims: bool = False) -> Tensor:  # noqa: A001
+    out = a.data.sum(axis=axis, keepdims=keepdims, dtype=np.float32)
+    out = np.asarray(out, dtype=np.float32)
+    flops = float(a.size)
+    nbytes = float(_F32 * (a.size + out.size))
+
+    def backward(grad: np.ndarray):
+        launch_backward("sum_backward", float(a.size), _F32 * 2.0 * a.size)
+        expanded = _expand_reduced_grad(grad, a.shape, axis, keepdims)
+        return (expanded,)
+
+    return make_op("sum", out, (a,), backward, flops, nbytes)
+
+
+def mean(a: Tensor, axis: Axis = None, keepdims: bool = False) -> Tensor:
+    out = a.data.mean(axis=axis, keepdims=keepdims, dtype=np.float32)
+    out = np.asarray(out, dtype=np.float32)
+    count = a.size // out.size if out.size else 1  # NB: builtins.max is shadowed here
+    flops = float(a.size)
+    nbytes = float(_F32 * (a.size + out.size))
+
+    def backward(grad: np.ndarray):
+        launch_backward("mean_backward", float(a.size), _F32 * 2.0 * a.size)
+        expanded = _expand_reduced_grad(grad, a.shape, axis, keepdims)
+        return (expanded / np.float32(count),)
+
+    return make_op("mean", out, (a,), backward, flops, nbytes)
+
+
+def max(a: Tensor, axis: int, keepdims: bool = False) -> Tensor:  # noqa: A001
+    out = a.data.max(axis=axis, keepdims=keepdims)
+    argmax = a.data.argmax(axis=axis)
+    flops = float(a.size)
+    nbytes = float(_F32 * (a.size + out.size))
+
+    def backward(grad: np.ndarray):
+        launch_backward("max_backward", float(a.size), _F32 * 2.0 * a.size)
+        full = np.zeros(a.shape, dtype=np.float32)
+        grad_arr = grad if keepdims else np.expand_dims(grad, axis)
+        np.put_along_axis(full, np.expand_dims(argmax, axis), grad_arr, axis=axis)
+        return (full,)
+
+    return make_op("max", np.asarray(out, np.float32), (a,), backward, flops, nbytes)
+
+
+def _expand_reduced_grad(
+    grad: np.ndarray, shape: Tuple[int, ...], axis: Axis, keepdims: bool
+) -> np.ndarray:
+    """Broadcast a reduction's output gradient back to the input shape."""
+    if axis is None:
+        return np.broadcast_to(grad, shape).astype(np.float32)
+    axes = (axis,) if isinstance(axis, int) else tuple(axis)
+    if not keepdims:
+        for ax in sorted(ax % len(shape) for ax in axes):
+            grad = np.expand_dims(grad, ax)
+    return np.broadcast_to(grad, shape).astype(np.float32)
+
+
+# ----------------------------------------------------------------------
+# shape manipulation
+# ----------------------------------------------------------------------
+def reshape(a: Tensor, shape: Sequence[int]) -> Tensor:
+    out = a.data.reshape(shape)
+    # Views are free on real hardware; charge a minimal kernel-free host op
+    # by reporting zero flops/bytes through a named launch would overstate
+    # cost, so reshape does not launch at all.
+    result = Tensor(out)
+    if a.requires_grad:
+        from repro.tensor.autograd import grad_enabled
+
+        if grad_enabled():
+            result.requires_grad = True
+            result._parents = (a,)
+            result._backward = lambda grad: (grad.reshape(a.shape),)
+    return result
+
+
+def transpose(a: Tensor, axis0: int = 0, axis1: int = 1) -> Tensor:
+    out = np.swapaxes(a.data, axis0, axis1)
+    flops, nbytes = 0.0, float(_F32 * 2 * out.size)
+
+    def backward(grad: np.ndarray):
+        launch_backward("transpose_backward", 0.0, _F32 * 2.0 * grad.size)
+        return (np.swapaxes(grad, axis0, axis1),)
+
+    return make_op("transpose", np.ascontiguousarray(out), (a,), backward, flops, nbytes)
+
+
+def concat(tensors: Sequence[Tensor], axis: int = 0) -> Tensor:
+    if not tensors:
+        raise ValueError("concat needs at least one tensor")
+    out = np.concatenate([t.data for t in tensors], axis=axis)
+    flops = 0.0
+    nbytes = float(_F32 * 2 * out.size)
+    sizes = [t.shape[axis] for t in tensors]
+
+    def backward(grad: np.ndarray):
+        launch_backward("concat_backward", 0.0, _F32 * 2.0 * grad.size)
+        splits = np.cumsum(sizes)[:-1]
+        return tuple(np.ascontiguousarray(g) for g in np.split(grad, splits, axis=axis))
+
+    return make_op("concat", out, tuple(tensors), backward, flops, nbytes)
+
+
+def stack(tensors: Sequence[Tensor], axis: int = 0) -> Tensor:
+    if not tensors:
+        raise ValueError("stack needs at least one tensor")
+    out = np.stack([t.data for t in tensors], axis=axis)
+    flops = 0.0
+    nbytes = float(_F32 * 2 * out.size)
+
+    def backward(grad: np.ndarray):
+        launch_backward("stack_backward", 0.0, _F32 * 2.0 * grad.size)
+        parts = np.split(grad, len(tensors), axis=axis)
+        return tuple(np.ascontiguousarray(p.squeeze(axis)) for p in parts)
+
+    return make_op("stack", out, tuple(tensors), backward, flops, nbytes)
+
+
+def clamp_min(a: Tensor, minimum: float) -> Tensor:
+    out = np.maximum(a.data, minimum)
+    flops, nbytes = _ew_cost(out, 1)
+
+    def backward(grad: np.ndarray):
+        launch_backward("clamp_backward", *_ew_cost(grad, 1))
+        return (grad * (a.data >= minimum),)
+
+    return make_op("clamp_min", out, (a,), backward, flops, nbytes)
+
+
+def dropout(a: Tensor, p: float, training: bool, rng: Optional[np.random.Generator] = None) -> Tensor:
+    """Inverted dropout; identity (and no kernel) when not training or p=0."""
+    if not training or p <= 0.0:
+        return a
+    if not 0.0 <= p < 1.0:
+        raise ValueError(f"dropout probability must be in [0, 1), got {p}")
+    rng = rng or np.random.default_rng()
+    mask = (rng.random(a.shape) >= p).astype(np.float32) / np.float32(1.0 - p)
+    out = a.data * mask
+    flops, nbytes = _ew_cost(out, 1)
+
+    def backward(grad: np.ndarray):
+        launch_backward("dropout_backward", *_ew_cost(grad, 1))
+        return (grad * mask,)
+
+    return make_op("dropout", out, (a,), backward, flops, nbytes)
+
+
+def abs(a: Tensor) -> Tensor:  # noqa: A001
+    out = np.abs(a.data)
+    flops, nbytes = _ew_cost(out, 1)
+
+    def backward(grad: np.ndarray):
+        launch_backward("abs_backward", *_ew_cost(grad, 1))
+        return (grad * np.sign(a.data),)
+
+    return make_op("abs", out, (a,), backward, flops, nbytes)
+
+
+def maximum(a: Tensor, b: Tensor) -> Tensor:
+    """Elementwise max; exact ties send the gradient to the first operand."""
+    out = np.maximum(a.data, b.data)
+    flops, nbytes = _ew_cost(out)
+
+    def backward(grad: np.ndarray):
+        launch_backward("maximum_backward", *_ew_cost(grad))
+        a_wins = a.data >= b.data
+        return (
+            unbroadcast(grad * a_wins, a.shape),
+            unbroadcast(grad * ~a_wins, b.shape),
+        )
+
+    return make_op("maximum", out, (a, b), backward, flops, nbytes)
+
+
+def minimum(a: Tensor, b: Tensor) -> Tensor:
+    """Elementwise min; exact ties send the gradient to the first operand."""
+    out = np.minimum(a.data, b.data)
+    flops, nbytes = _ew_cost(out)
+
+    def backward(grad: np.ndarray):
+        launch_backward("minimum_backward", *_ew_cost(grad))
+        a_wins = a.data <= b.data
+        return (
+            unbroadcast(grad * a_wins, a.shape),
+            unbroadcast(grad * ~a_wins, b.shape),
+        )
+
+    return make_op("minimum", out, (a, b), backward, flops, nbytes)
+
+
+def where(condition: np.ndarray, a: Tensor, b: Tensor) -> Tensor:
+    """Select ``a`` where ``condition`` else ``b`` (condition is data)."""
+    condition = np.asarray(condition, dtype=bool)
+    out = np.where(condition, a.data, b.data).astype(np.float32)
+    flops, nbytes = _ew_cost(out)
+
+    def backward(grad: np.ndarray):
+        launch_backward("where_backward", *_ew_cost(grad))
+        return (
+            unbroadcast(grad * condition, a.shape),
+            unbroadcast(grad * ~condition, b.shape),
+        )
+
+    return make_op("where", out, (a, b), backward, flops, nbytes)
+
+
+def log1p(a: Tensor) -> Tensor:
+    out = np.log1p(a.data)
+    flops, nbytes = _ew_cost(out, 1)
+
+    def backward(grad: np.ndarray):
+        launch_backward("log1p_backward", *_ew_cost(grad, 1))
+        return (grad / (1.0 + a.data),)
+
+    return make_op("log1p", out, (a,), backward, flops, nbytes)

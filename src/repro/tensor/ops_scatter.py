@@ -1,0 +1,213 @@
+"""Gather / scatter / segment operations.
+
+These are the kernels GNN frameworks are built from.  The PyG-style framework
+(:mod:`repro.pygx`) aggregates messages with *scatter* ops keyed by an index
+vector (PyTorch's ``scatter``/``index_select`` family); the DGL-style
+framework (:mod:`repro.dglx`) pools node features per graph with *segment*
+reductions over contiguous ranges (DGL's segment-reduce operator).  The paper
+explicitly contrasts these two pooling paths in Section IV-C.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.tensor.tensor import Tensor, launch_backward, make_op
+
+_F32 = 4
+
+
+def _check_index(index: np.ndarray, length: int) -> np.ndarray:
+    index = np.asarray(index)
+    if index.ndim != 1 or index.shape[0] != length:
+        raise ValueError(f"index must be 1-D with length {length}, got {index.shape}")
+    if not np.issubdtype(index.dtype, np.integer):
+        raise TypeError("index must be an integer array")
+    return index
+
+
+# ----------------------------------------------------------------------
+# gather
+# ----------------------------------------------------------------------
+def index_rows(x: Tensor, index: np.ndarray) -> Tensor:
+    """Select rows ``x[index]`` (PyTorch ``index_select`` on dim 0).
+
+    Used to materialise per-edge source/destination features.
+    """
+    index = _check_index(index, len(index))
+    out = x.data[index]
+    flops = 0.0
+    nbytes = float(_F32 * 2 * out.size)
+
+    def backward(grad: np.ndarray):
+        launch_backward("gather_backward_scatter_add", float(grad.size), _F32 * 3.0 * grad.size)
+        gx = np.zeros(x.shape, dtype=np.float32)
+        np.add.at(gx, index, grad)
+        return (gx,)
+
+    return make_op("gather", out, (x,), backward, flops, nbytes)
+
+
+# ----------------------------------------------------------------------
+# scatter reductions (PyG style)
+# ----------------------------------------------------------------------
+def scatter_sum(src: Tensor, index: np.ndarray, dim_size: int) -> Tensor:
+    """Sum rows of ``src`` into ``dim_size`` bins given by ``index``."""
+    index = _check_index(index, len(src))
+    out = np.zeros((dim_size,) + src.shape[1:], dtype=np.float32)
+    np.add.at(out, index, src.data)
+    flops = float(src.size)
+    nbytes = float(_F32 * (src.size + out.size))
+
+    def backward(grad: np.ndarray):
+        launch_backward("scatter_sum_backward_gather", 0.0, _F32 * 2.0 * src.size)
+        return (grad[index],)
+
+    return make_op("scatter_sum", out, (src,), backward, flops, nbytes)
+
+
+def scatter_mean(src: Tensor, index: np.ndarray, dim_size: int) -> Tensor:
+    """Mean-reduce rows of ``src`` into bins; empty bins yield zero."""
+    index = _check_index(index, len(src))
+    out = np.zeros((dim_size,) + src.shape[1:], dtype=np.float32)
+    np.add.at(out, index, src.data)
+    count = np.bincount(index, minlength=dim_size).astype(np.float32)
+    safe = np.maximum(count, 1.0)
+    out = out / safe.reshape((dim_size,) + (1,) * (src.ndim - 1))
+    flops = float(src.size + out.size)
+    nbytes = float(_F32 * (src.size + out.size))
+
+    def backward(grad: np.ndarray):
+        launch_backward("scatter_mean_backward", float(grad.size), _F32 * 2.0 * src.size)
+        scale = (1.0 / safe)[index].reshape((len(index),) + (1,) * (src.ndim - 1))
+        return (grad[index] * scale,)
+
+    return make_op("scatter_mean", out, (src,), backward, flops, nbytes)
+
+
+def scatter_max(src: Tensor, index: np.ndarray, dim_size: int) -> Tensor:
+    """Max-reduce rows of ``src`` into bins; empty bins yield zero.
+
+    The backward pass routes the gradient to the maximal entries; exact ties
+    share the gradient equally (a valid subgradient).
+    """
+    index = _check_index(index, len(src))
+    out = np.full((dim_size,) + src.shape[1:], -np.inf, dtype=np.float32)
+    np.maximum.at(out, index, src.data)
+    empty = ~np.isfinite(out)
+    out = np.where(empty, 0.0, out).astype(np.float32)
+    flops = float(src.size)
+    nbytes = float(_F32 * (src.size + out.size))
+
+    gathered_max = out[index]
+    winners = (src.data == gathered_max) & ~empty[index]
+    tie_count = np.zeros((dim_size,) + src.shape[1:], dtype=np.float32)
+    np.add.at(tie_count, index, winners.astype(np.float32))
+    tie_count = np.maximum(tie_count, 1.0)
+
+    def backward(grad: np.ndarray):
+        launch_backward("scatter_max_backward", float(src.size), _F32 * 3.0 * src.size)
+        return (winners * grad[index] / tie_count[index],)
+
+    return make_op("scatter_max", out, (src,), backward, flops, nbytes)
+
+
+def scatter(src: Tensor, index: np.ndarray, dim_size: int, reduce: str = "sum") -> Tensor:
+    """Dispatch to a scatter reduction by name (``sum``/``mean``/``max``)."""
+    if reduce == "sum":
+        return scatter_sum(src, index, dim_size)
+    if reduce == "mean":
+        return scatter_mean(src, index, dim_size)
+    if reduce == "max":
+        return scatter_max(src, index, dim_size)
+    raise ValueError(f"unknown scatter reduction {reduce!r}")
+
+
+# ----------------------------------------------------------------------
+# segment reductions (DGL style)
+# ----------------------------------------------------------------------
+def _check_offsets(offsets: np.ndarray, length: int) -> np.ndarray:
+    offsets = np.asarray(offsets)
+    if offsets.ndim != 1 or offsets[0] != 0 or offsets[-1] != length:
+        raise ValueError("offsets must start at 0 and end at the input length")
+    if np.any(np.diff(offsets) < 0):
+        raise ValueError("offsets must be non-decreasing")
+    return offsets
+
+
+def segment_sum(src: Tensor, offsets: np.ndarray) -> Tensor:
+    """Sum contiguous row segments ``src[offsets[i]:offsets[i+1]]``."""
+    offsets = _check_offsets(offsets, len(src))
+    lengths = np.diff(offsets)
+    # Exclusive prefix sums make every segment (including empty ones) exact.
+    csum = np.zeros((len(src) + 1,) + src.shape[1:], dtype=np.float64)
+    np.cumsum(src.data, axis=0, dtype=np.float64, out=csum[1:])
+    out = (csum[offsets[1:]] - csum[offsets[:-1]]).astype(np.float32)
+    flops = float(src.size)
+    nbytes = float(_F32 * (src.size + out.size))
+
+    def backward(grad: np.ndarray):
+        launch_backward("segment_sum_backward", 0.0, _F32 * 2.0 * src.size)
+        return (np.repeat(grad, lengths, axis=0).astype(np.float32),)
+
+    return make_op("segment_reduce_sum", out, (src,), backward, flops, nbytes)
+
+
+def segment_mean(src: Tensor, offsets: np.ndarray) -> Tensor:
+    """Mean over contiguous row segments; empty segments yield zero."""
+    offsets = _check_offsets(offsets, len(src))
+    lengths = np.diff(offsets).astype(np.float32)
+    safe = np.maximum(lengths, 1.0).reshape((-1,) + (1,) * (src.ndim - 1))
+    summed = segment_sum(src, offsets)
+    n_segments = len(offsets) - 1
+    out = summed.data / safe
+    flops = float(out.size)
+    nbytes = float(_F32 * 2 * out.size)
+
+    def backward(grad: np.ndarray):
+        launch_backward("segment_mean_backward", float(grad.size), _F32 * 2.0 * grad.size)
+        return (grad / safe,)
+
+    # Chain through segment_sum's autograd by dividing the Tensor directly.
+    result = make_op("segment_reduce_mean_div", out, (summed,), backward, flops, nbytes)
+    return result
+
+
+def segment_max(src: Tensor, offsets: np.ndarray) -> Tensor:
+    """Max over contiguous row segments; empty segments yield zero."""
+    offsets = _check_offsets(offsets, len(src))
+    n_segments = len(offsets) - 1
+    lengths = np.diff(offsets)
+    index = np.repeat(np.arange(n_segments), lengths)
+    out = np.full((n_segments,) + src.shape[1:], -np.inf, dtype=np.float32)
+    if src.size:
+        np.maximum.at(out, index, src.data)
+    empty = ~np.isfinite(out)
+    out = np.where(empty, 0.0, out).astype(np.float32)
+    flops = float(src.size)
+    nbytes = float(_F32 * (src.size + out.size))
+
+    winners = (src.data == out[index]) & ~empty[index] if src.size else np.zeros_like(src.data, bool)
+    tie_count = np.zeros((n_segments,) + src.shape[1:], dtype=np.float32)
+    if src.size:
+        np.add.at(tie_count, index, winners.astype(np.float32))
+    tie_count = np.maximum(tie_count, 1.0)
+
+    def backward(grad: np.ndarray):
+        launch_backward("segment_max_backward", float(src.size), _F32 * 3.0 * src.size)
+        return (winners * grad[index] / tie_count[index],)
+
+    return make_op("segment_reduce_max", out, (src,), backward, flops, nbytes)
+
+
+def segment_reduce(src: Tensor, offsets: np.ndarray, reduce: str = "sum") -> Tensor:
+    """Dispatch to a segment reduction by name (``sum``/``mean``/``max``)."""
+    if reduce == "sum":
+        return segment_sum(src, offsets)
+    if reduce == "mean":
+        return segment_mean(src, offsets)
+    if reduce == "max":
+        return segment_max(src, offsets)
+    raise ValueError(f"unknown segment reduction {reduce!r}")

@@ -1,0 +1,294 @@
+"""Reverse-mode autograd tensor backed by numpy.
+
+Plays the role PyTorch plays under both GNN frameworks in the paper.  Every
+operation does two things:
+
+1. computes the numpy result, and
+2. reports a *kernel launch* (name, flop count, bytes moved) to the active
+   simulated device, so the performance observables the paper measures —
+   kernel time, launch overhead, GPU utilisation, memory — fall out of the
+   actual sequence of operations a model executes.
+
+Only float data lives in tensors; integer index arrays (edge indices, batch
+vectors) stay plain numpy, exactly as PyG/DGL keep them in ``int64`` buffers
+that never need gradients.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.device import current_device
+from repro.tensor.autograd import grad_enabled
+
+ArrayLike = Union[np.ndarray, float, int, Sequence]
+
+#: Gradient function: maps the output gradient to per-parent gradients
+#: (``None`` for parents that do not require grad).
+BackwardFn = Callable[[np.ndarray], Tuple[Optional[np.ndarray], ...]]
+
+
+class Tensor:
+    """A numpy array with a reverse-mode autograd tape."""
+
+    __slots__ = ("data", "requires_grad", "grad", "_parents", "_backward", "__weakref__")
+
+    def __init__(self, data: ArrayLike, requires_grad: bool = False) -> None:
+        if isinstance(data, Tensor):
+            raise TypeError("wrap raw arrays, not Tensors")
+        arr = np.asarray(data, dtype=np.float32)
+        current_device().track(arr)
+        self.data: np.ndarray = arr
+        self.requires_grad: bool = requires_grad
+        self.grad: Optional[np.ndarray] = None
+        self._parents: Tuple["Tensor", ...] = ()
+        self._backward: Optional[BackwardFn] = None
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+    @property
+    def shape(self) -> Tuple[int, ...]:
+        return self.data.shape
+
+    @property
+    def ndim(self) -> int:
+        return self.data.ndim
+
+    @property
+    def size(self) -> int:
+        return int(self.data.size)
+
+    @property
+    def nbytes(self) -> int:
+        return int(self.data.nbytes)
+
+    def numpy(self) -> np.ndarray:
+        """Return the underlying array (no copy)."""
+        return self.data
+
+    def item(self) -> float:
+        return float(self.data.reshape(-1)[0])
+
+    def detach(self) -> "Tensor":
+        """A view of the same data cut off from the autograd graph."""
+        return Tensor(self.data)
+
+    def __repr__(self) -> str:
+        grad_flag = ", requires_grad=True" if self.requires_grad else ""
+        return f"Tensor(shape={self.shape}{grad_flag})"
+
+    def __len__(self) -> int:
+        return self.data.shape[0]
+
+    # ------------------------------------------------------------------
+    # backward pass
+    # ------------------------------------------------------------------
+    def backward(self, grad: Optional[np.ndarray] = None) -> None:
+        """Run reverse-mode differentiation from this tensor.
+
+        Gradients accumulate into ``.grad`` of every reachable tensor with
+        ``requires_grad=True``, as in PyTorch.
+        """
+        if not self.requires_grad:
+            raise RuntimeError("backward() on a tensor that does not require grad")
+        if grad is None:
+            if self.size != 1:
+                raise RuntimeError("backward() without a gradient needs a scalar output")
+            grad = np.ones_like(self.data)
+        else:
+            grad = np.asarray(grad, dtype=np.float32)
+
+        order = self._topological_order()
+        grads: dict = {id(self): grad}
+        for node in order:
+            node_grad = grads.pop(id(node), None)
+            if node_grad is None:
+                continue
+            if node._backward is None:
+                _accumulate_leaf(node, node_grad)
+                continue
+            parent_grads = node._backward(node_grad)
+            for parent, pgrad in zip(node._parents, parent_grads):
+                if pgrad is None:
+                    continue
+                existing = grads.get(id(parent))
+                if existing is None:
+                    grads[id(parent)] = pgrad
+                else:
+                    current_device().launch(
+                        "grad_accumulate", flops=pgrad.size, bytes_moved=3 * pgrad.nbytes
+                    )
+                    grads[id(parent)] = existing + pgrad
+            # Drop the tape reference so activations can be collected, like
+            # PyTorch freeing saved buffers after use.
+            node._backward = None
+            node._parents = ()
+
+    def _topological_order(self) -> List["Tensor"]:
+        """Reverse topological order of the graph rooted at ``self``."""
+        order: List[Tensor] = []
+        visited = set()
+        stack: List[Tuple[Tensor, bool]] = [(self, False)]
+        while stack:
+            node, processed = stack.pop()
+            if processed:
+                order.append(node)
+                continue
+            if id(node) in visited:
+                continue
+            visited.add(id(node))
+            stack.append((node, True))
+            for parent in node._parents:
+                if id(parent) not in visited:
+                    stack.append((parent, False))
+        order.reverse()
+        return order
+
+    def zero_grad(self) -> None:
+        self.grad = None
+
+    # ------------------------------------------------------------------
+    # arithmetic (thin wrappers over repro.tensor.ops)
+    # ------------------------------------------------------------------
+    def __add__(self, other: ArrayLike) -> "Tensor":
+        from repro.tensor import ops
+
+        return ops.add(self, _coerce(other))
+
+    __radd__ = __add__
+
+    def __sub__(self, other: ArrayLike) -> "Tensor":
+        from repro.tensor import ops
+
+        return ops.sub(self, _coerce(other))
+
+    def __rsub__(self, other: ArrayLike) -> "Tensor":
+        from repro.tensor import ops
+
+        return ops.sub(_coerce(other), self)
+
+    def __mul__(self, other: ArrayLike) -> "Tensor":
+        from repro.tensor import ops
+
+        return ops.mul(self, _coerce(other))
+
+    __rmul__ = __mul__
+
+    def __truediv__(self, other: ArrayLike) -> "Tensor":
+        from repro.tensor import ops
+
+        return ops.div(self, _coerce(other))
+
+    def __rtruediv__(self, other: ArrayLike) -> "Tensor":
+        from repro.tensor import ops
+
+        return ops.div(_coerce(other), self)
+
+    def __neg__(self) -> "Tensor":
+        from repro.tensor import ops
+
+        return ops.neg(self)
+
+    def __matmul__(self, other: "Tensor") -> "Tensor":
+        from repro.tensor import ops
+
+        return ops.matmul(self, other)
+
+    def __pow__(self, exponent: float) -> "Tensor":
+        from repro.tensor import ops
+
+        return ops.pow_scalar(self, float(exponent))
+
+    # convenience method forms
+    def sum(self, axis=None, keepdims: bool = False) -> "Tensor":
+        from repro.tensor import ops
+
+        return ops.sum(self, axis=axis, keepdims=keepdims)
+
+    def mean(self, axis=None, keepdims: bool = False) -> "Tensor":
+        from repro.tensor import ops
+
+        return ops.mean(self, axis=axis, keepdims=keepdims)
+
+    def reshape(self, *shape: int) -> "Tensor":
+        from repro.tensor import ops
+
+        if len(shape) == 1 and isinstance(shape[0], (tuple, list)):
+            shape = tuple(shape[0])
+        return ops.reshape(self, shape)
+
+    def transpose(self, axis0: int = 0, axis1: int = 1) -> "Tensor":
+        from repro.tensor import ops
+
+        return ops.transpose(self, axis0, axis1)
+
+    @property
+    def T(self) -> "Tensor":
+        return self.transpose(0, 1)
+
+
+def _coerce(value: ArrayLike) -> Tensor:
+    """Wrap scalars/arrays so arithmetic accepts raw operands."""
+    if isinstance(value, Tensor):
+        return value
+    return Tensor(np.asarray(value, dtype=np.float32))
+
+
+def _accumulate_leaf(tensor: Tensor, grad: np.ndarray) -> None:
+    """Accumulate ``grad`` into a leaf tensor's ``.grad`` buffer."""
+    if not tensor.requires_grad:
+        return
+    if tensor.grad is None:
+        current_device().track(grad)
+        tensor.grad = grad
+    else:
+        current_device().launch(
+            "grad_accumulate", flops=grad.size, bytes_moved=3 * grad.nbytes
+        )
+        tensor.grad = tensor.grad + grad
+        current_device().track(tensor.grad)
+
+
+def make_op(
+    name: str,
+    out_data: np.ndarray,
+    parents: Sequence[Tensor],
+    backward: BackwardFn,
+    flops: float,
+    bytes_moved: float,
+) -> Tensor:
+    """Create the output tensor of an operation and register the kernel.
+
+    ``backward`` receives the gradient w.r.t. the output and must return one
+    gradient (or ``None``) per parent; it is responsible for reporting its
+    own kernels to the device when it runs.
+    """
+    current_device().launch(name, flops=flops, bytes_moved=bytes_moved)
+    out = Tensor(out_data)
+    if grad_enabled() and any(p.requires_grad for p in parents):
+        out.requires_grad = True
+        out._parents = tuple(parents)
+        out._backward = backward
+    return out
+
+
+def launch_backward(name: str, flops: float = 0.0, bytes_moved: float = 0.0) -> None:
+    """Report a kernel executed inside a backward function."""
+    current_device().launch(name, flops=flops, bytes_moved=bytes_moved)
+
+
+def unbroadcast(grad: np.ndarray, shape: Tuple[int, ...]) -> np.ndarray:
+    """Reduce ``grad`` back to ``shape`` after numpy broadcasting."""
+    if grad.shape == shape:
+        return grad
+    # Sum out prepended axes.
+    while grad.ndim > len(shape):
+        grad = grad.sum(axis=0)
+    # Sum over axes that were broadcast from size 1.
+    for axis, dim in enumerate(shape):
+        if dim == 1 and grad.shape[axis] != 1:
+            grad = grad.sum(axis=axis, keepdims=True)
+    return grad.astype(np.float32, copy=False)

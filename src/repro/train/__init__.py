@@ -1,0 +1,22 @@
+"""Training harnesses reproducing the paper's experiment protocols."""
+
+from repro.train.checkpoint import checkpoint_nbytes, load_checkpoint, save_checkpoint
+from repro.train.graph_trainer import GraphClassificationTrainer
+from repro.train.multi_gpu import multi_gpu_epoch_time
+from repro.train.node_trainer import NodeClassificationTrainer
+from repro.train.results import EpochRecord, ExperimentResult, RunResult
+from repro.train.stats import AccuracyComparison, compare_accuracies
+
+__all__ = [
+    "NodeClassificationTrainer",
+    "GraphClassificationTrainer",
+    "multi_gpu_epoch_time",
+    "EpochRecord",
+    "ExperimentResult",
+    "RunResult",
+    "save_checkpoint",
+    "load_checkpoint",
+    "checkpoint_nbytes",
+    "compare_accuracies",
+    "AccuracyComparison",
+]

@@ -1,0 +1,149 @@
+"""Multi-GPU (DataParallel) training simulation — Fig. 6.
+
+Section IV-E: GCN and GAT on MNIST superpixels, data parallelism via
+PyTorch's ``DataParallel``, 1/2/4/8 GPUs, several batch sizes.  Per
+iteration the mini-batch is split across replicas; since replicas are
+symmetric, the wall time of the compute phase equals one replica's time on
+``batch_size / n_gpus`` graphs, plus the parameter broadcast, input
+scatter, output gather and gradient reduction modelled by
+:mod:`repro.device.multigpu`.
+
+Data loading (collation) stays on the host process and is *not* divided by
+the GPU count — exactly why the paper finds that "training models on
+multiple GPUs can only reduce the computing time" while loading dominates.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from repro.datasets.base import GraphClassificationDataset
+from repro.device import DataParallelPlan, Device, charge_iteration_overhead, use_device
+from repro.models import ModelConfig, graph_config
+from repro.nn import cross_entropy
+from repro.optim import Adam
+
+FRAMEWORKS = ("pygx", "dglx")
+
+
+def _collate(framework: str, graphs):
+    if framework == "pygx":
+        from repro.pygx.data import Batch, Data
+
+        return Batch.from_data_list([Data.from_sample(g) for g in graphs])
+    from repro.dglx import batch as dgl_batch
+
+    g = dgl_batch(graphs)
+    return g
+
+
+def _batch_nbytes(graphs) -> int:
+    return int(
+        sum(g.x.nbytes + g.edge_index.nbytes for g in graphs)
+    )
+
+
+def multi_gpu_epoch_time(
+    framework: str,
+    model_name: str,
+    dataset: GraphClassificationDataset,
+    batch_size: int,
+    n_gpus: int,
+    device: Optional[Device] = None,
+    max_batches: Optional[int] = None,
+    seed: int = 0,
+    config: Optional[ModelConfig] = None,
+) -> float:
+    """Simulated seconds per epoch of DataParallel training.
+
+    ``max_batches`` bounds the measured batches; the result is scaled back
+    to a full epoch (every batch has the same expected cost).
+    """
+    if framework not in FRAMEWORKS:
+        raise ValueError(f"unknown framework {framework!r}; options: {FRAMEWORKS}")
+    if n_gpus < 1:
+        raise ValueError("n_gpus must be >= 1")
+    if batch_size < n_gpus:
+        raise ValueError("batch size must be at least one graph per GPU")
+    device = device or Device()
+    config = config or graph_config(
+        model_name, in_dim=dataset.num_features, n_classes=dataset.num_classes
+    )
+    with use_device(device):
+        rng = np.random.default_rng(seed)
+        if framework == "pygx":
+            from repro.pygx import build_model
+        else:
+            from repro.dglx import build_model
+        model = build_model(config, rng)
+        optimizer = Adam(model.parameters(), lr=config.lr)
+        param_bytes = model.param_bytes()
+        costs = device.host_costs
+
+        graphs: List = list(dataset.graphs)
+        n_batches_total = (len(graphs) + batch_size - 1) // batch_size
+        starts = range(0, len(graphs), batch_size)
+        if max_batches is not None:
+            starts = list(starts)[:max_batches]
+
+        clock = device.clock
+        begin = clock.snapshot()
+        n_measured = 0
+        for start in starts:
+            chunk = graphs[start : start + batch_size]
+            per_gpu = max(len(chunk) // n_gpus, 1)
+            replica_graphs = chunk[:per_gpu]
+
+            # Representative replica's collation (full simulated cost)...
+            with clock.phase("data_loading"):
+                device.host(costs.fetch_per_graph * len(chunk))
+                batch = _collate(framework, replica_graphs)
+                # ...plus the host cost of collating the other replicas'
+                # shares (DataParallel collates serially on the host).
+                others = len(chunk) - len(replica_graphs)
+                if others > 0:
+                    other_bytes = _batch_nbytes(chunk[per_gpu:])
+                    if framework == "pygx":
+                        extra = (
+                            (n_gpus - 1) * costs.pyg_batch_base
+                            + costs.pyg_batch_per_graph * others
+                        )
+                    else:
+                        extra = (
+                            (n_gpus - 1) * costs.dgl_batch_base
+                            + (costs.dgl_batch_per_graph + 2 * costs.dgl_batch_per_type)
+                            * others
+                        )
+                    device.host(extra + costs.batch_per_byte * other_bytes)
+                    device.transfer(other_bytes)
+
+            plan = DataParallelPlan(
+                n_gpus=n_gpus,
+                param_bytes=param_bytes,
+                input_bytes=_batch_nbytes(chunk),
+                output_bytes=4 * len(chunk) * config.n_classes,
+            )
+            charge_iteration_overhead(device, plan)
+
+            model.train()
+            if framework == "pygx":
+                labels = batch.y
+                inputs = batch
+            else:
+                labels = np.array([g.y for g in replica_graphs])
+                inputs = batch
+            with clock.phase("forward"):
+                loss = cross_entropy(model(inputs), labels)
+            with clock.phase("backward"):
+                optimizer.zero_grad()
+                loss.backward()
+            with clock.phase("update"):
+                optimizer.step()
+            n_measured += 1
+
+        measured = begin.delta(clock).elapsed
+        if n_measured == 0:
+            return 0.0
+        return measured / n_measured * n_batches_total

@@ -1,0 +1,87 @@
+"""Result records produced by the trainers and consumed by the benches."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+
+@dataclass
+class EpochRecord:
+    """Simulated timing of one training epoch."""
+
+    epoch: int
+    train_time: float
+    eval_time: float
+    phase_times: Dict[str, float]
+    train_loss: float
+    val_loss: float
+    val_acc: float
+
+
+@dataclass
+class RunResult:
+    """Outcome of one training run (one seed or one fold)."""
+
+    test_acc: float
+    epochs: List[EpochRecord] = field(default_factory=list)
+    peak_memory: int = 0
+    gpu_utilization: float = 0.0
+    total_time: float = 0.0
+
+    @property
+    def n_epochs(self) -> int:
+        return len(self.epochs)
+
+    @property
+    def mean_epoch_time(self) -> float:
+        """Mean simulated train-time per epoch (the paper's 'Epoch' column)."""
+        if not self.epochs:
+            return 0.0
+        return sum(e.train_time for e in self.epochs) / len(self.epochs)
+
+    @property
+    def mean_full_epoch_time(self) -> float:
+        """Mean train + validation time per epoch.
+
+        The node-classification pipelines the paper follows time an "epoch"
+        as one training pass plus the per-epoch validation evaluation, so
+        Table IV uses this; the graph-classification breakdown (Fig. 1/2)
+        uses the train-only :attr:`mean_epoch_time`.
+        """
+        if not self.epochs:
+            return 0.0
+        return sum(e.train_time + e.eval_time for e in self.epochs) / len(self.epochs)
+
+    def mean_phase_times(self) -> Dict[str, float]:
+        """Per-phase mean time per epoch (Fig. 1/2 series)."""
+        if not self.epochs:
+            return {}
+        keys = set()
+        for e in self.epochs:
+            keys.update(e.phase_times)
+        return {
+            k: sum(e.phase_times.get(k, 0.0) for e in self.epochs) / len(self.epochs)
+            for k in keys
+        }
+
+
+@dataclass
+class ExperimentResult:
+    """Aggregate over seeds/folds: one cell of Table IV or Table V."""
+
+    framework: str
+    model: str
+    dataset: str
+    acc_mean: float
+    acc_std: float
+    epoch_time: float
+    total_time: float
+    runs: List[RunResult] = field(default_factory=list)
+
+    def format_row(self) -> str:
+        return (
+            f"{self.dataset:8s} {self.model:9s} {self.framework:5s} "
+            f"{self.epoch_time:9.4f}s/{self.total_time:8.2f}s "
+            f"{self.acc_mean * 100:5.1f}+-{self.acc_std * 100:.1f}"
+        )

@@ -1,0 +1,67 @@
+"""Statistical comparison of accuracy results.
+
+The paper repeatedly concludes "it is hard to tell the best between the two
+frameworks" on accuracy.  :func:`compare_accuracies` makes that statement
+testable: a Welch t-test over per-run test accuracies, with the paper-style
+verdict that the frameworks are statistically indistinguishable when the
+p-value clears a threshold.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+from scipy import stats as scipy_stats
+
+
+@dataclass(frozen=True)
+class AccuracyComparison:
+    """Welch t-test summary between two accuracy samples."""
+
+    mean_a: float
+    mean_b: float
+    t_statistic: float
+    p_value: float
+
+    def indistinguishable(self, alpha: float = 0.05) -> bool:
+        """True when the difference is not significant at level ``alpha``."""
+        return self.p_value > alpha
+
+    @property
+    def mean_gap(self) -> float:
+        return abs(self.mean_a - self.mean_b)
+
+
+def compare_accuracies(
+    accs_a: Sequence[float], accs_b: Sequence[float]
+) -> AccuracyComparison:
+    """Welch t-test between two sets of per-run accuracies."""
+    a = np.asarray(accs_a, dtype=np.float64)
+    b = np.asarray(accs_b, dtype=np.float64)
+    if len(a) < 2 or len(b) < 2:
+        # Degenerate samples: fall back to a mean comparison with p=1 when
+        # equal, p=0.5 otherwise (no variance information available).
+        gap = abs(a.mean() - b.mean())
+        return AccuracyComparison(
+            mean_a=float(a.mean()),
+            mean_b=float(b.mean()),
+            t_statistic=0.0,
+            p_value=1.0 if gap < 1e-12 else 0.5,
+        )
+    if np.allclose(a, a[0]) and np.allclose(b, b[0]):
+        same = abs(a.mean() - b.mean()) < 1e-12
+        return AccuracyComparison(
+            mean_a=float(a.mean()),
+            mean_b=float(b.mean()),
+            t_statistic=0.0 if same else np.inf,
+            p_value=1.0 if same else 0.0,
+        )
+    t_stat, p_value = scipy_stats.ttest_ind(a, b, equal_var=False)
+    return AccuracyComparison(
+        mean_a=float(a.mean()),
+        mean_b=float(b.mean()),
+        t_statistic=float(t_stat),
+        p_value=float(p_value),
+    )

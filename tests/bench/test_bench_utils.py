@@ -1,0 +1,56 @@
+"""Bench helpers: table rendering, runners on tiny inputs."""
+
+import numpy as np
+import pytest
+
+from repro.bench import (
+    breakdown_row,
+    epoch_profile,
+    format_seconds,
+    format_table,
+    layerwise_profile,
+)
+
+
+class TestFormatting:
+    def test_format_table_alignment(self):
+        out = format_table(["a", "bb"], [["1", "222"], ["33", "4"]])
+        lines = out.splitlines()
+        assert len(lines) == 4
+        assert lines[0].startswith("a ")
+
+    def test_format_table_title(self):
+        out = format_table(["x"], [["1"]], title="T")
+        assert out.splitlines()[0] == "T"
+
+    def test_format_table_empty_rows(self):
+        out = format_table(["col"], [])
+        assert "col" in out
+
+    def test_format_seconds_scales(self):
+        assert format_seconds(0.0045) == "0.0045s"
+        assert format_seconds(12.3) == "12.30s"
+        assert format_seconds(7200.0) == "2.00hr"
+
+
+class TestRunners:
+    def test_epoch_profile_returns_run_result(self):
+        result = epoch_profile("pygx", "gcn", "enzymes", batch_size=16, num_graphs=32, n_epochs=1)
+        assert result.mean_epoch_time > 0
+
+    def test_breakdown_row_has_all_phases(self):
+        result = epoch_profile("pygx", "gcn", "enzymes", batch_size=16, num_graphs=32, n_epochs=1)
+        row = breakdown_row(result)
+        assert set(row) == {"data_loading", "forward", "backward", "update", "other"}
+        assert all(v >= 0 for v in row.values())
+        assert sum(row.values()) == pytest.approx(result.mean_epoch_time, rel=1e-6)
+
+    @pytest.mark.parametrize("framework", ["pygx", "dglx"])
+    def test_layerwise_profile_scopes(self, framework):
+        scopes = layerwise_profile(framework, "gcn", "enzymes", batch_size=16, num_graphs=32)
+        assert {"conv1", "conv2", "conv3", "conv4", "pooling", "classifier"} <= set(scopes)
+        assert all(scopes[f"conv{i}"] > 0 for i in range(1, 5))
+
+    def test_layerwise_rejects_unknown_framework(self):
+        with pytest.raises(ValueError):
+            layerwise_profile("tf", "gcn", "enzymes", batch_size=8, num_graphs=16)

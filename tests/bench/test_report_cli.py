@@ -1,0 +1,127 @@
+"""The command-line report tool (python -m repro.bench.report)."""
+
+import json
+
+import pytest
+
+from repro.bench.report import EXPERIMENTS, main
+
+
+class TestReportCLI:
+    def test_table1_subset(self, capsys):
+        assert main(["table1", "--datasets", "cora", "enzymes"]) == 0
+        out = capsys.readouterr().out
+        assert "Cora" in out and "ENZYMES" in out
+
+    def test_table4_with_json_and_csv(self, capsys, tmp_path):
+        json_path = tmp_path / "t4.json"
+        csv_path = tmp_path / "t4.csv"
+        code = main(
+            [
+                "table4",
+                "--datasets",
+                "cora",
+                "--models",
+                "gcn",
+                "--frameworks",
+                "pygx",
+                "--epochs",
+                "2",
+                "--json",
+                str(json_path),
+                "--csv",
+                str(csv_path),
+            ]
+        )
+        assert code == 0
+        data = json.loads(json_path.read_text())
+        assert data[0]["model"] == "gcn"
+        assert csv_path.read_text().startswith("dataset,model,framework")
+        assert "Table IV" in capsys.readouterr().out
+
+    def test_table5_quick(self, capsys):
+        code = main(
+            [
+                "table5",
+                "--datasets",
+                "enzymes",
+                "--models",
+                "gcn",
+                "--frameworks",
+                "pygx",
+                "--epochs",
+                "2",
+                "--num-graphs",
+                "24",
+                "--folds",
+                "1",
+            ]
+        )
+        assert code == 0
+        assert "Table V" in capsys.readouterr().out
+
+    def test_fig1_breakdown_chart(self, capsys):
+        code = main(
+            [
+                "fig1",
+                "--models",
+                "gcn",
+                "--frameworks",
+                "pygx",
+                "--batch-sizes",
+                "16",
+                "--num-graphs",
+                "24",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "legend:" in out
+        assert "data_loading" in out
+
+    def test_fig3_table(self, capsys):
+        code = main(
+            ["fig3", "--models", "gcn", "--frameworks", "pygx", "--num-graphs", "32"]
+        )
+        assert code == 0
+        assert "conv1" in capsys.readouterr().out
+
+    def test_fig2_small(self, capsys):
+        code = main(
+            [
+                "fig2",
+                "--models",
+                "gcn",
+                "--frameworks",
+                "dglx",
+                "--batch-sizes",
+                "8",
+                "--num-graphs",
+                "16",
+            ]
+        )
+        assert code == 0
+        assert "dd" in capsys.readouterr().out.lower()
+
+    def test_fig6_small(self, capsys):
+        code = main(["fig6", "--models", "gcn", "--frameworks", "pygx", "--num-graphs", "40",
+                     "--batch-sizes", "16"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "8gpu" in out
+
+    @pytest.mark.parametrize("experiment,token", [("fig4", "memory"), ("fig5", "utilisation")])
+    def test_resource_figures(self, capsys, experiment, token):
+        code = main(
+            [experiment, "--models", "gcn", "--frameworks", "pygx",
+             "--batch-sizes", "8", "--num-graphs", "16"]
+        )
+        assert code == 0
+        assert token in capsys.readouterr().out
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["fig9"])
+
+    def test_experiment_registry(self):
+        assert set(EXPERIMENTS) >= {"table1", "table4", "table5", "fig1", "fig2", "fig3", "fig4", "fig5", "fig6"}

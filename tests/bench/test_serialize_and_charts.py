@@ -1,0 +1,101 @@
+"""Serialisation round-trips and ASCII chart rendering."""
+
+import numpy as np
+import pytest
+
+from repro.bench.charts import horizontal_bars, series_table, stacked_bars
+from repro.bench.serialize import (
+    experiment_from_dict,
+    experiment_to_dict,
+    experiments_from_json,
+    experiments_to_csv,
+    experiments_to_json,
+)
+from repro.train.results import EpochRecord, ExperimentResult, RunResult
+
+
+def make_experiment():
+    run = RunResult(
+        test_acc=0.8,
+        peak_memory=123456,
+        gpu_utilization=0.12,
+        total_time=5.0,
+        epochs=[
+            EpochRecord(
+                epoch=0,
+                train_time=0.1,
+                eval_time=0.02,
+                phase_times={"forward": 0.05, "backward": 0.05},
+                train_loss=1.5,
+                val_loss=1.4,
+                val_acc=0.6,
+            )
+        ],
+    )
+    return ExperimentResult(
+        framework="pygx",
+        model="gcn",
+        dataset="ENZYMES",
+        acc_mean=0.8,
+        acc_std=0.02,
+        epoch_time=0.1,
+        total_time=5.0,
+        runs=[run],
+    )
+
+
+class TestSerialize:
+    def test_dict_roundtrip(self):
+        exp = make_experiment()
+        restored = experiment_from_dict(experiment_to_dict(exp))
+        assert restored.acc_mean == exp.acc_mean
+        assert restored.runs[0].epochs[0].phase_times == {"forward": 0.05, "backward": 0.05}
+
+    def test_json_roundtrip(self):
+        text = experiments_to_json([make_experiment()], include_runs=True)
+        restored = experiments_from_json(text)
+        assert len(restored) == 1
+        assert restored[0].model == "gcn"
+        assert restored[0].runs[0].test_acc == pytest.approx(0.8)
+
+    def test_json_without_runs_is_compact(self):
+        text = experiments_to_json([make_experiment()], include_runs=False)
+        assert "epochs" not in text
+
+    def test_csv_header_and_row(self):
+        csv_text = experiments_to_csv([make_experiment()])
+        lines = csv_text.strip().splitlines()
+        assert lines[0].startswith("dataset,model,framework")
+        assert lines[1].startswith("ENZYMES,gcn,pygx")
+
+
+class TestCharts:
+    def test_horizontal_bars_scale_to_max(self):
+        out = horizontal_bars({"a": 1.0, "b": 2.0}, width=10)
+        lines = out.splitlines()
+        assert lines[0].count("#") == 5
+        assert lines[1].count("#") == 10
+
+    def test_horizontal_bars_empty(self):
+        assert horizontal_bars({}, title="t") == "t"
+
+    def test_stacked_bars_has_legend_and_totals(self):
+        out = stacked_bars(
+            {"run": {"load": 1.0, "fwd": 1.0}},
+            segments=["load", "fwd"],
+            width=20,
+        )
+        assert "legend:" in out
+        assert "#" in out and "=" in out
+
+    def test_stacked_bars_segment_proportions(self):
+        out = stacked_bars(
+            {"r": {"a": 3.0, "b": 1.0}}, segments=["a", "b"], width=40
+        )
+        bar_line = out.splitlines()[0]
+        assert bar_line.count("#") == 30
+        assert bar_line.count("=") == 10
+
+    def test_series_table_contains_values(self):
+        out = series_table({"gcn": [1.0, 2.0]}, ["1gpu", "2gpu"], unit="ms")
+        assert "gcn" in out and "2ms" in out

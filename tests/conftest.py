@@ -1,0 +1,22 @@
+"""Shared fixtures: every test runs against a fresh simulated device."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.device import Device, set_device
+
+
+@pytest.fixture(autouse=True)
+def fresh_device():
+    """Isolate the global device so clock/memory state never leaks."""
+    device = Device()
+    set_device(device)
+    yield device
+    set_device(Device())
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(1234)

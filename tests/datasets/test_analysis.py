@@ -1,0 +1,100 @@
+"""Dataset analysis utilities."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import (
+    cora,
+    degree_histogram,
+    edge_homophily,
+    enzymes,
+    feature_class_separation,
+    label_entropy,
+    profile_graph,
+)
+from repro.graph import GraphSample
+
+
+@pytest.fixture(scope="module")
+def cora_ds():
+    return cora(seed=0)
+
+
+class TestProfileGraph:
+    def test_simple_ring(self):
+        ring = np.arange(4)
+        g = GraphSample(np.stack([ring, np.roll(ring, -1)]), np.zeros((4, 1), np.float32), 0)
+        p = profile_graph(g)
+        assert p.num_nodes == 4
+        assert p.num_edges_directed == 4
+        assert p.mean_degree == pytest.approx(2.0)
+        assert p.isolated_nodes == 0
+
+    def test_isolated_nodes_counted(self):
+        g = GraphSample(np.array([[0], [1]]), np.zeros((3, 1), np.float32), 0)
+        assert profile_graph(g).isolated_nodes == 1
+
+    def test_density_complete_graph(self):
+        src, dst = np.meshgrid(np.arange(3), np.arange(3))
+        mask = src.ravel() != dst.ravel()
+        g = GraphSample(
+            np.stack([src.ravel()[mask], dst.ravel()[mask]]),
+            np.zeros((3, 1), np.float32),
+            0,
+        )
+        assert profile_graph(g).density == pytest.approx(1.0)
+
+
+class TestHomophily:
+    def test_synthetic_cora_is_homophilous(self, cora_ds):
+        assert edge_homophily(cora_ds) > 0.5
+
+    def test_perfectly_homophilous_graph(self):
+        from repro.datasets.base import NodeClassificationDataset
+
+        g = GraphSample(
+            np.array([[0, 1], [1, 0]]),
+            np.zeros((2, 1), np.float32),
+            np.array([1, 1]),
+        )
+        ds = NodeClassificationDataset("t", g, 2, np.array([0]), np.array([1]), np.array([1]))
+        assert edge_homophily(ds) == 1.0
+
+
+class TestHistogramsAndEntropy:
+    def test_degree_histogram_sums_to_nodes(self, cora_ds):
+        hist = degree_histogram(cora_ds.graph)
+        assert hist.sum() == cora_ds.graph.num_nodes
+
+    def test_degree_histogram_overflow_bin(self):
+        star_src = np.zeros(30, np.int64)
+        star_dst = np.arange(1, 31)
+        g = GraphSample(
+            np.stack([star_dst, star_src]), np.zeros((31, 1), np.float32), 0
+        )  # node 0 has in-degree 30
+        hist = degree_histogram(g, max_bins=5)
+        assert hist[4] >= 1  # overflow captured
+
+    def test_label_entropy_balanced_classes(self):
+        ds = enzymes(seed=0, num_graphs=60)
+        assert label_entropy(ds) == pytest.approx(np.log2(6), abs=0.01)
+
+    def test_label_entropy_node_dataset(self, cora_ds):
+        assert 2.0 < label_entropy(cora_ds) <= np.log2(7) + 1e-6
+
+
+class TestSeparation:
+    def test_separation_positive_for_enzymes(self):
+        ds = enzymes(seed=0, num_graphs=120)
+        assert feature_class_separation(ds) > 0.05
+
+    def test_separation_near_zero_for_shuffled_labels(self):
+        ds = enzymes(seed=0, num_graphs=120)
+        rng = np.random.default_rng(0)
+        shuffled = [
+            GraphSample(g.edge_index, g.x, int(rng.integers(0, 6))) for g in ds.graphs
+        ]
+        from repro.datasets.base import GraphClassificationDataset
+
+        shuffled_ds = GraphClassificationDataset("x", shuffled, 6)
+        assert feature_class_separation(shuffled_ds) < feature_class_separation(ds)

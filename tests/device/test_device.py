@@ -1,0 +1,209 @@
+"""Simulated device: clock, memory pool, profiler, kernel cost model."""
+
+import gc
+
+import numpy as np
+import pytest
+
+from repro.device import (
+    Device,
+    GPUSpec,
+    MemoryPool,
+    OutOfMemoryError,
+    RTX_2080TI,
+    TOY_GPU,
+    current_device,
+    use_device,
+)
+from repro.device.gpu import kernel_efficiency
+
+
+class TestGPUSpec:
+    def test_roofline_compute_bound(self):
+        spec = GPUSpec("t", peak_flops=1e9, mem_bandwidth=1e12, memory_bytes=1, min_kernel_time=0.0)
+        assert spec.kernel_time(flops=2e9, bytes_moved=0) == pytest.approx(2.0)
+
+    def test_roofline_memory_bound(self):
+        spec = GPUSpec("t", peak_flops=1e15, mem_bandwidth=1e9, memory_bytes=1, min_kernel_time=0.0)
+        assert spec.kernel_time(flops=1, bytes_moved=3e9) == pytest.approx(3.0)
+
+    def test_min_kernel_time_floor(self):
+        assert RTX_2080TI.kernel_time(0, 0) == RTX_2080TI.min_kernel_time
+
+    def test_efficiency_scales_duration(self):
+        spec = GPUSpec("t", peak_flops=1e9, mem_bandwidth=1e9, memory_bytes=1, min_kernel_time=0.0)
+        assert spec.kernel_time(1e9, 0, efficiency=0.5) == pytest.approx(2.0)
+
+    def test_efficiency_validated(self):
+        with pytest.raises(ValueError):
+            RTX_2080TI.kernel_time(1, 1, efficiency=0.0)
+
+    def test_transfer_time_latency_plus_bandwidth(self):
+        t = RTX_2080TI.transfer_time(12e9)
+        assert t == pytest.approx(RTX_2080TI.pcie_latency + 1.0)
+
+    def test_kernel_efficiency_table(self):
+        assert kernel_efficiency("gspmm_backward_x") < kernel_efficiency("matmul")
+        assert kernel_efficiency("scatter_sum") < kernel_efficiency("add")
+
+
+class TestClockAndLaunch:
+    def test_launch_advances_host_and_gpu(self):
+        dev = Device()
+        dur = dev.launch("matmul", flops=1e9, bytes_moved=1e6)
+        assert dev.clock.gpu_busy == pytest.approx(dur)
+        assert dev.clock.elapsed == pytest.approx(dur + dev.spec.launch_overhead)
+
+    def test_host_work_lowers_utilization(self):
+        dev = Device()
+        dev.launch("k", flops=1e9)
+        util_before = dev.clock.utilization()
+        dev.host(1.0)
+        assert dev.clock.utilization() < util_before
+
+    def test_phases_attribute_time(self):
+        dev = Device()
+        with dev.clock.phase("data_loading"):
+            dev.host(0.5)
+        with dev.clock.phase("forward"):
+            dev.launch("k")
+        assert dev.clock.phase_elapsed["data_loading"] == pytest.approx(0.5)
+        assert dev.clock.phase_elapsed["forward"] > 0
+
+    def test_nested_phases_inner_wins(self):
+        dev = Device()
+        with dev.clock.phase("outer"):
+            with dev.clock.phase("inner"):
+                dev.host(1.0)
+        assert dev.clock.phase_elapsed.get("inner") == pytest.approx(1.0)
+        assert "outer" not in dev.clock.phase_elapsed or dev.clock.phase_elapsed["outer"] == 0
+
+    def test_snapshot_delta(self):
+        dev = Device()
+        dev.host(1.0)
+        snap = dev.clock.snapshot()
+        with dev.clock.phase("forward"):
+            dev.host(2.0)
+        delta = snap.delta(dev.clock)
+        assert delta.elapsed == pytest.approx(2.0)
+        assert delta.phase_elapsed["forward"] == pytest.approx(2.0)
+
+    def test_negative_advance_rejected(self):
+        dev = Device()
+        with pytest.raises(ValueError):
+            dev.clock.advance_host(-1.0)
+
+    def test_reset_inside_phase_rejected(self):
+        dev = Device()
+        with pytest.raises(RuntimeError):
+            with dev.clock.phase("x"):
+                dev.clock.reset()
+
+    def test_utilization_zero_when_idle(self):
+        assert Device().clock.utilization() == 0.0
+
+
+class TestMemoryPool:
+    def test_alloc_free_peak(self):
+        pool = MemoryPool(100)
+        pool.alloc(60)
+        pool.free(30)
+        pool.alloc(20)
+        assert pool.current == 50
+        assert pool.peak == 60
+
+    def test_oom(self):
+        pool = MemoryPool(10)
+        with pytest.raises(OutOfMemoryError):
+            pool.alloc(11)
+
+    def test_track_frees_on_gc(self):
+        pool = MemoryPool(10**6)
+        arr = np.zeros(100, np.float32)
+        pool.track(arr)
+        assert pool.current == 400
+        del arr
+        gc.collect()
+        assert pool.current == 0
+
+    def test_track_dedupes(self):
+        pool = MemoryPool(10**6)
+        arr = np.zeros(10, np.float32)
+        pool.track(arr)
+        pool.track(arr)
+        assert pool.current == 40
+
+    def test_reset_peak(self):
+        pool = MemoryPool(100)
+        pool.alloc(80)
+        pool.free(80)
+        pool.reset_peak()
+        assert pool.peak == 0
+
+    def test_model_oom_on_toy_gpu(self):
+        """A batch that exceeds the toy GPU's 64 MiB must raise OOM."""
+        dev = Device(TOY_GPU)
+        with use_device(dev):
+            from repro.tensor import Tensor
+
+            with pytest.raises(OutOfMemoryError):
+                Tensor(np.zeros((80 * 1024 * 1024 // 4,), np.float32))
+
+
+class TestProfiler:
+    def test_records_only_when_enabled(self):
+        dev = Device()
+        dev.launch("a")
+        dev.profiler.enabled = True
+        dev.launch("b")
+        assert [r.name for r in dev.profiler.records] == ["b"]
+
+    def test_scope_tagging_and_aggregation(self):
+        dev = Device()
+        dev.profiler.enabled = True
+        with dev.scope("net"):
+            with dev.scope("conv1"):
+                dev.launch("matmul", flops=1e9)
+            with dev.scope("conv2"):
+                dev.launch("matmul", flops=2e9)
+        assert dev.profiler.time_by_scope_component("conv1") > 0
+        total = dev.profiler.total_time()
+        by_scope = dev.profiler.time_by_top_scope(depth=2)
+        assert sum(by_scope.values()) == pytest.approx(total)
+
+    def test_in_scope_prefix(self):
+        dev = Device()
+        dev.profiler.enabled = True
+        with dev.scope("a"):
+            with dev.scope("b"):
+                dev.launch("k")
+        rec = dev.profiler.records[0]
+        assert rec.in_scope(("a",))
+        assert rec.in_scope(("a", "b"))
+        assert not rec.in_scope(("b",))
+
+    def test_time_by_kernel(self):
+        dev = Device()
+        dev.profiler.enabled = True
+        dev.launch("x", flops=1e9)
+        dev.launch("x", flops=1e9)
+        dev.launch("y")
+        assert set(dev.profiler.time_by_kernel()) == {"x", "y"}
+
+
+class TestDeviceContext:
+    def test_use_device_swaps_and_restores(self):
+        outer = current_device()
+        inner = Device()
+        with use_device(inner) as d:
+            assert current_device() is d is inner
+        assert current_device() is outer
+
+    def test_reset_clears_everything(self):
+        dev = Device()
+        dev.launch("k")
+        dev.profiler.enabled = True
+        dev.launch("k2")
+        dev.reset()
+        assert dev.clock.elapsed == 0
+        assert dev.profiler.records == []

@@ -1,0 +1,67 @@
+"""Host cost model invariants — these encode the paper's causal story."""
+
+import dataclasses
+
+import pytest
+
+from repro.device import DEFAULT_HOST_COSTS, Device, HostCostModel
+
+
+class TestHostCostModel:
+    def test_dgl_batching_costlier_per_graph(self):
+        c = DEFAULT_HOST_COSTS
+        assert c.dgl_batch_per_graph > c.pyg_batch_per_graph
+
+    def test_dgl_batching_costlier_base(self):
+        c = DEFAULT_HOST_COSTS
+        assert c.dgl_batch_base > c.pyg_batch_base
+
+    def test_heterograph_pays_per_type(self):
+        assert DEFAULT_HOST_COSTS.dgl_batch_per_type > 0
+
+    def test_update_all_overhead_dominates_frame_set(self):
+        c = DEFAULT_HOST_COSTS
+        assert c.dgl_update_all_overhead > 10 * c.dgl_frame_set_overhead
+
+    def test_frozen(self):
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            DEFAULT_HOST_COSTS.pyg_batch_base = 0.0
+
+    def test_custom_model_injectable(self):
+        cheap = HostCostModel(dgl_update_all_overhead=0.0)
+        device = Device(host_costs=cheap)
+        assert device.host_costs.dgl_update_all_overhead == 0.0
+
+    def test_all_costs_non_negative(self):
+        for field in dataclasses.fields(HostCostModel):
+            assert getattr(DEFAULT_HOST_COSTS, field.name) >= 0.0, field.name
+
+
+class TestScopeElapsed:
+    def test_scope_elapsed_accumulates_host_and_kernels(self):
+        device = Device()
+        with device.scope("conv1"):
+            device.host(1.0)
+            device.launch("k")
+        assert device.scope_component_time("conv1") > 1.0
+
+    def test_scope_component_time_with_since(self):
+        device = Device()
+        with device.scope("conv1"):
+            device.host(1.0)
+        before = dict(device.scope_elapsed)
+        with device.scope("conv1"):
+            device.host(2.0)
+        assert device.scope_component_time("conv1", since=before) == pytest.approx(2.0)
+
+    def test_unscoped_work_not_attributed(self):
+        device = Device()
+        device.host(5.0)
+        assert device.scope_elapsed == {}
+
+    def test_reset_clears_scope_elapsed(self):
+        device = Device()
+        with device.scope("x"):
+            device.host(1.0)
+        device.reset()
+        assert device.scope_elapsed == {}

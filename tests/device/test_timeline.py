@@ -1,0 +1,50 @@
+"""Chrome-trace export of profiled kernels."""
+
+import json
+
+import pytest
+
+from repro.device import Device
+from repro.device.timeline import to_chrome_trace, write_chrome_trace
+
+
+@pytest.fixture()
+def profiled_device():
+    device = Device()
+    device.profiler.enabled = True
+    with device.scope("net"):
+        with device.scope("conv1"):
+            device.launch("matmul", flops=1e9, bytes_moved=1e6)
+        device.launch("relu", flops=1e6, bytes_moved=1e6)
+    return device
+
+
+class TestChromeTrace:
+    def test_event_per_kernel(self, profiled_device):
+        trace = json.loads(to_chrome_trace(profiled_device.profiler.records))
+        assert len(trace["traceEvents"]) == 2
+
+    def test_event_fields(self, profiled_device):
+        trace = json.loads(to_chrome_trace(profiled_device.profiler.records))
+        event = trace["traceEvents"][0]
+        assert event["name"] == "matmul"
+        assert event["ph"] == "X"
+        assert event["cat"] == "net/conv1"
+        assert event["dur"] > 0
+        assert event["ts"] >= 0
+        assert event["args"]["flops"] == 1e9
+
+    def test_events_ordered_and_non_overlapping(self, profiled_device):
+        trace = json.loads(to_chrome_trace(profiled_device.profiler.records))
+        a, b = trace["traceEvents"]
+        assert a["ts"] + a["dur"] <= b["ts"] + 1e-6
+
+    def test_write_to_file(self, profiled_device, tmp_path):
+        path = tmp_path / "trace.json"
+        write_chrome_trace(profiled_device.profiler.records, path)
+        loaded = json.loads(path.read_text())
+        assert loaded["displayTimeUnit"] == "ms"
+
+    def test_empty_records(self):
+        trace = json.loads(to_chrome_trace([]))
+        assert trace["traceEvents"] == []

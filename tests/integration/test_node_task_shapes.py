@@ -1,0 +1,66 @@
+"""Integration: node-classification shape results (Table IV) at small scale."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import cora
+from repro.train import NodeClassificationTrainer
+
+
+@pytest.fixture(scope="module")
+def ds():
+    return cora(seed=0)
+
+
+@pytest.fixture(scope="module")
+def runs(ds):
+    out = {}
+    for fw in ("pygx", "dglx"):
+        for model in ("gcn", "gat", "gatedgcn"):
+            trainer = NodeClassificationTrainer(fw, model, ds, max_epochs=12)
+            out[(fw, model)] = trainer.run(seed=0)
+    return out
+
+
+class TestNodeTimings:
+    def test_pygx_faster_per_epoch(self, runs):
+        for model in ("gcn", "gat", "gatedgcn"):
+            assert (
+                runs[("pygx", model)].mean_full_epoch_time
+                < runs[("dglx", model)].mean_full_epoch_time
+            ), model
+
+    def test_gatedgcn_gap_largest(self, runs):
+        ratios = {
+            m: runs[("dglx", m)].mean_full_epoch_time
+            / runs[("pygx", m)].mean_full_epoch_time
+            for m in ("gcn", "gat", "gatedgcn")
+        }
+        assert ratios["gatedgcn"] == max(ratios.values())
+        assert ratios["gatedgcn"] > 1.4
+
+    def test_anisotropic_slower_than_gcn_within_framework(self, runs):
+        for fw in ("pygx", "dglx"):
+            assert (
+                runs[(fw, "gat")].mean_full_epoch_time
+                > runs[(fw, "gcn")].mean_full_epoch_time
+            )
+
+    def test_epoch_magnitude_matches_paper(self, runs):
+        """Paper Table IV: Cora epochs are single-digit milliseconds."""
+        for key, run in runs.items():
+            assert 0.5e-3 < run.mean_full_epoch_time < 40e-3, key
+
+
+class TestNodeAccuracy:
+    def test_frameworks_agree_within_noise(self, ds):
+        accs = {}
+        for fw in ("pygx", "dglx"):
+            trainer = NodeClassificationTrainer(fw, "gcn", ds, max_epochs=40)
+            accs[fw] = trainer.run(seed=0).test_acc
+        assert abs(accs["pygx"] - accs["dglx"]) < 0.10
+
+    def test_gcn_lands_in_paper_band(self, ds):
+        trainer = NodeClassificationTrainer("pygx", "gcn", ds, max_epochs=60)
+        acc = trainer.run(seed=0).test_acc
+        assert 0.70 < acc < 0.92  # paper: 80.8 +- 1.3

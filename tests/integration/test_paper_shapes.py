@@ -1,0 +1,138 @@
+"""Integration: the paper's headline shape results on reduced workloads.
+
+Each test asserts one of DESIGN.md section 5's expected shapes, on scaled
+down datasets so the suite stays fast.  The benches repeat these at larger
+scale and print the full tables.
+"""
+
+import numpy as np
+import pytest
+
+from repro.datasets import enzymes
+from repro.device import Device, use_device
+from repro.models import graph_config
+from repro.nn import cross_entropy
+from repro.optim import Adam
+from repro.train import GraphClassificationTrainer
+
+
+@pytest.fixture(scope="module")
+def ds():
+    return enzymes(seed=0, num_graphs=96)
+
+
+def profile(framework, model, ds, batch_size=32):
+    trainer = GraphClassificationTrainer(framework, model, ds, batch_size=batch_size)
+    return trainer.measure_epoch(n_epochs=1)
+
+
+@pytest.fixture(scope="module")
+def grid(ds):
+    out = {}
+    for fw in ("pygx", "dglx"):
+        for model in ("gcn", "gat", "gatedgcn"):
+            out[(fw, model)] = profile(fw, model, ds)
+    return out
+
+
+class TestFrameworkGap:
+    def test_pygx_faster_for_every_model(self, grid):
+        for model in ("gcn", "gat", "gatedgcn"):
+            assert (
+                grid[("pygx", model)].mean_epoch_time
+                < grid[("dglx", model)].mean_epoch_time
+            ), model
+
+    def test_gatedgcn_dgl_is_worst_case(self, grid):
+        dgl_times = {m: grid[("dglx", m)].mean_epoch_time for m in ("gcn", "gat", "gatedgcn")}
+        assert dgl_times["gatedgcn"] == max(dgl_times.values())
+
+    def test_gatedgcn_dgl_about_twice_pyg(self, grid):
+        ratio = (
+            grid[("dglx", "gatedgcn")].mean_epoch_time
+            / grid[("pygx", "gatedgcn")].mean_epoch_time
+        )
+        assert 1.5 < ratio < 3.5
+
+    def test_dgl_loading_slower(self, grid):
+        for model in ("gcn", "gat"):
+            pyg = grid[("pygx", model)].mean_phase_times()["data_loading"]
+            dgl = grid[("dglx", model)].mean_phase_times()["data_loading"]
+            assert dgl > 1.5 * pyg
+
+    def test_loading_is_major_share(self, grid):
+        """Data loading dominates graph-level training (paper Section IV-C).
+
+        At this reduced scale (96 graphs, batch 32) compute carries more
+        fixed overhead per epoch than at paper scale, so the threshold is
+        conservative; the Fig. 1 bench asserts dominance at full scale.
+        """
+        for (framework, model), result in grid.items():
+            share = result.mean_phase_times()["data_loading"] / result.mean_epoch_time
+            # GatedGCN is the most compute-heavy model, so its loading
+            # share is smallest at this scale.
+            floor = 0.25 if framework == "dglx" and model != "gatedgcn" else 0.10
+            assert share > floor, (framework, model)
+
+    def test_anisotropic_slower_than_gcn(self, grid):
+        for fw in ("pygx", "dglx"):
+            assert grid[(fw, "gat")].mean_epoch_time > grid[(fw, "gcn")].mean_epoch_time
+
+
+class TestMemoryShapes:
+    def test_gatedgcn_memory_biggest_in_dgl(self, grid):
+        peaks = {m: grid[("dglx", m)].peak_memory for m in ("gcn", "gat", "gatedgcn")}
+        assert peaks["gatedgcn"] == max(peaks.values())
+
+    def test_gatedgcn_dgl_much_more_memory_than_pyg(self, grid):
+        assert grid[("dglx", "gatedgcn")].peak_memory > 1.3 * grid[("pygx", "gatedgcn")].peak_memory
+
+    def test_anisotropic_needs_more_memory(self, grid):
+        for fw in ("pygx", "dglx"):
+            assert grid[(fw, "gat")].peak_memory > grid[(fw, "gcn")].peak_memory
+
+
+class TestUtilizationShapes:
+    def test_utilization_low_everywhere(self, grid):
+        for key, result in grid.items():
+            assert result.gpu_utilization < 0.40, key
+
+    def test_dgl_utilization_below_pyg(self, grid):
+        for model in ("gcn", "gat", "gatedgcn"):
+            assert (
+                grid[("dglx", model)].gpu_utilization
+                < grid[("pygx", model)].gpu_utilization
+            )
+
+
+class TestBatchSizeScaling:
+    def test_enzymes_compute_drops_with_batch_size(self, ds):
+        """Fig. 1: on small graphs, bigger batches nearly halve fwd+bwd."""
+        small = profile("pygx", "gcn", ds, batch_size=16)
+        large = profile("pygx", "gcn", ds, batch_size=64)
+        def fwd_bwd(r):
+            p = r.mean_phase_times()
+            return p["forward"] + p["backward"]
+        assert fwd_bwd(large) < 0.75 * fwd_bwd(small)
+
+
+class TestAccuracyParity:
+    def test_frameworks_reach_similar_accuracy(self, ds):
+        """Same architecture + protocol => statistically similar accuracy."""
+        from repro.datasets import kfold_splits
+
+        splits = kfold_splits(ds.labels, 6, np.random.default_rng(0))
+        accs = {}
+        for fw in ("pygx", "dglx"):
+            trainer = GraphClassificationTrainer(fw, "gcn", ds, batch_size=32, max_epochs=25)
+            accs[fw] = trainer.run_fold(*splits[0], seed=0).test_acc
+        assert abs(accs["pygx"] - accs["dglx"]) < 0.25
+
+    def test_training_reduces_loss_in_both_frameworks(self, ds):
+        for fw in ("pygx", "dglx"):
+            trainer = GraphClassificationTrainer(fw, "gin", ds, batch_size=32, max_epochs=8)
+            from repro.datasets import kfold_splits
+
+            splits = kfold_splits(ds.labels, 6, np.random.default_rng(0))
+            result = trainer.run_fold(*splits[0], seed=0)
+            assert result.epochs[-1].train_loss < result.epochs[0].train_loss

@@ -1,0 +1,67 @@
+"""abs / maximum / minimum / where / log1p ops."""
+
+import numpy as np
+import pytest
+
+from repro.tensor import Tensor, ops
+from tests.tensor.test_gradcheck import check_grad
+
+
+def t(arr, requires_grad=False):
+    return Tensor(np.asarray(arr, dtype=np.float32), requires_grad=requires_grad)
+
+
+class TestForward:
+    def test_abs(self):
+        np.testing.assert_allclose(ops.abs(t([-2.0, 3.0])).data, [2.0, 3.0])
+
+    def test_maximum(self):
+        out = ops.maximum(t([1.0, 5.0]), t([3.0, 2.0]))
+        np.testing.assert_allclose(out.data, [3.0, 5.0])
+
+    def test_minimum(self):
+        out = ops.minimum(t([1.0, 5.0]), t([3.0, 2.0]))
+        np.testing.assert_allclose(out.data, [1.0, 2.0])
+
+    def test_where(self):
+        out = ops.where(np.array([True, False]), t([1.0, 1.0]), t([9.0, 9.0]))
+        np.testing.assert_allclose(out.data, [1.0, 9.0])
+
+    def test_log1p(self):
+        assert ops.log1p(t([0.0])).data[0] == pytest.approx(0.0)
+        assert ops.log1p(t([np.e - 1.0])).data[0] == pytest.approx(1.0, rel=1e-5)
+
+
+class TestGradients:
+    def test_abs_grad(self):
+        check_grad(ops.abs, (5,))
+
+    def test_maximum_grad(self):
+        check_grad(ops.maximum, (4,), (4,))
+
+    def test_minimum_grad(self):
+        check_grad(ops.minimum, (4,), (4,))
+
+    def test_log1p_grad(self):
+        check_grad(ops.log1p, (5,), positive=True)
+
+    def test_where_routes_gradient(self):
+        cond = np.array([True, False, True])
+        a = t([1.0, 1.0, 1.0], requires_grad=True)
+        b = t([2.0, 2.0, 2.0], requires_grad=True)
+        ops.where(cond, a, b).sum().backward()
+        np.testing.assert_allclose(a.grad, [1.0, 0.0, 1.0])
+        np.testing.assert_allclose(b.grad, [0.0, 1.0, 0.0])
+
+    def test_maximum_tie_goes_to_first(self):
+        a = t([2.0], requires_grad=True)
+        b = t([2.0], requires_grad=True)
+        ops.maximum(a, b).sum().backward()
+        np.testing.assert_allclose(a.grad, [1.0])
+        np.testing.assert_allclose(b.grad, [0.0])
+
+    def test_maximum_broadcast(self):
+        a = Tensor(np.zeros((2, 3), np.float32), requires_grad=True)
+        b = Tensor(np.ones(3, np.float32), requires_grad=True)
+        ops.maximum(a, b).sum().backward()
+        np.testing.assert_allclose(b.grad, [2.0, 2.0, 2.0])

@@ -1,0 +1,61 @@
+"""Checkpoint save/load round-trips."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import enzymes
+from repro.models import graph_config
+from repro.pygx import Batch, Data, build_model
+from repro.train import checkpoint_nbytes, load_checkpoint, save_checkpoint
+
+
+@pytest.fixture()
+def model():
+    cfg = graph_config("gcn", in_dim=18, n_classes=6)
+    return build_model(cfg, np.random.default_rng(0))
+
+
+class TestCheckpoint:
+    def test_roundtrip_restores_parameters(self, model, tmp_path):
+        path = tmp_path / "ckpt.npz"
+        save_checkpoint(model, path)
+        other = build_model(model.config, np.random.default_rng(99))
+        assert not np.allclose(other.conv1.linear.weight.data, model.conv1.linear.weight.data)
+        load_checkpoint(other, path)
+        np.testing.assert_array_equal(
+            other.conv1.linear.weight.data, model.conv1.linear.weight.data
+        )
+
+    def test_roundtrip_restores_buffers(self, tmp_path):
+        cfg = graph_config("gin", in_dim=18, n_classes=6)
+        net = build_model(cfg, np.random.default_rng(0))
+        net.conv1.bn.running_mean[:] = 7.0
+        path = tmp_path / "gin.npz"
+        save_checkpoint(net, path)
+        other = build_model(cfg, np.random.default_rng(1))
+        load_checkpoint(other, path)
+        np.testing.assert_allclose(other.conv1.bn.running_mean, 7.0)
+
+    def test_restored_model_same_outputs(self, model, tmp_path):
+        ds = enzymes(seed=0, num_graphs=8)
+        batch = Batch.from_data_list([Data.from_sample(g) for g in ds.graphs])
+        path = tmp_path / "m.npz"
+        save_checkpoint(model, path)
+        other = build_model(model.config, np.random.default_rng(5))
+        load_checkpoint(other, path)
+        model.eval()
+        other.eval()
+        np.testing.assert_allclose(model(batch).data, other(batch).data, atol=1e-6)
+
+    def test_checkpoint_nbytes_matches_state(self, model):
+        assert checkpoint_nbytes(model) == sum(
+            a.nbytes for a in model.state_dict().values()
+        )
+
+    def test_mismatched_architecture_rejected(self, model, tmp_path):
+        path = tmp_path / "m.npz"
+        save_checkpoint(model, path)
+        other_cfg = graph_config("gcn", in_dim=18, n_classes=6, hidden=64)
+        other = build_model(other_cfg, np.random.default_rng(0))
+        with pytest.raises((KeyError, ValueError)):
+            load_checkpoint(other, path)

@@ -1,0 +1,64 @@
+"""Result record aggregation logic."""
+
+import pytest
+
+from repro.train.results import EpochRecord, ExperimentResult, RunResult
+
+
+def record(epoch, train=0.1, eval_=0.05, phases=None, loss=1.0):
+    return EpochRecord(
+        epoch=epoch,
+        train_time=train,
+        eval_time=eval_,
+        phase_times=phases or {"forward": train / 2, "backward": train / 2},
+        train_loss=loss,
+        val_loss=loss,
+        val_acc=0.5,
+    )
+
+
+class TestRunResult:
+    def test_mean_epoch_time(self):
+        run = RunResult(test_acc=0.5, epochs=[record(0, 0.1), record(1, 0.3)])
+        assert run.mean_epoch_time == pytest.approx(0.2)
+
+    def test_mean_full_epoch_includes_eval(self):
+        run = RunResult(test_acc=0.5, epochs=[record(0, 0.1, 0.05)])
+        assert run.mean_full_epoch_time == pytest.approx(0.15)
+
+    def test_empty_run_is_zero(self):
+        run = RunResult(test_acc=0.0)
+        assert run.mean_epoch_time == 0.0
+        assert run.mean_full_epoch_time == 0.0
+        assert run.mean_phase_times() == {}
+
+    def test_mean_phase_times_union_of_keys(self):
+        run = RunResult(
+            test_acc=0.5,
+            epochs=[
+                record(0, phases={"forward": 1.0}),
+                record(1, phases={"backward": 2.0}),
+            ],
+        )
+        phases = run.mean_phase_times()
+        assert phases["forward"] == pytest.approx(0.5)
+        assert phases["backward"] == pytest.approx(1.0)
+
+    def test_n_epochs(self):
+        assert RunResult(test_acc=0.1, epochs=[record(0)]).n_epochs == 1
+
+
+class TestExperimentResult:
+    def test_format_row_contains_fields(self):
+        result = ExperimentResult(
+            framework="pygx",
+            model="gcn",
+            dataset="Cora",
+            acc_mean=0.81,
+            acc_std=0.013,
+            epoch_time=0.0049,
+            total_time=5.82,
+        )
+        row = result.format_row()
+        assert "Cora" in row and "gcn" in row and "pygx" in row
+        assert "81.0" in row

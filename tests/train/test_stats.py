@@ -1,0 +1,52 @@
+"""Accuracy comparison statistics."""
+
+import numpy as np
+import pytest
+
+from repro.train.stats import AccuracyComparison, compare_accuracies
+
+
+class TestCompareAccuracies:
+    def test_identical_samples_indistinguishable(self):
+        a = [0.8, 0.81, 0.79, 0.8]
+        cmp = compare_accuracies(a, list(a))
+        assert cmp.indistinguishable()
+        assert cmp.mean_gap == pytest.approx(0.0)
+
+    def test_clearly_different_samples(self):
+        a = [0.9, 0.91, 0.89, 0.9]
+        b = [0.5, 0.51, 0.49, 0.5]
+        cmp = compare_accuracies(a, b)
+        assert not cmp.indistinguishable()
+        assert cmp.p_value < 0.01
+
+    def test_noisy_similar_samples(self):
+        a = [0.78, 0.80, 0.82, 0.79, 0.81]
+        b = [0.79, 0.81, 0.78, 0.82, 0.80]  # same values, different order
+        cmp = compare_accuracies(a, b)
+        assert cmp.indistinguishable()
+
+    def test_degenerate_single_sample(self):
+        cmp = compare_accuracies([0.8], [0.8])
+        assert cmp.p_value == 1.0
+        cmp2 = compare_accuracies([0.8], [0.7])
+        assert cmp2.p_value == 0.5
+
+    def test_constant_samples_equal_and_unequal(self):
+        equal = compare_accuracies([0.8, 0.8], [0.8, 0.8])
+        assert equal.p_value == 1.0
+        unequal = compare_accuracies([0.8, 0.8], [0.6, 0.6])
+        assert unequal.p_value == 0.0
+
+    def test_means_reported(self):
+        cmp = compare_accuracies([0.6, 0.8], [0.7, 0.9])
+        assert cmp.mean_a == pytest.approx(0.7)
+        assert cmp.mean_b == pytest.approx(0.8)
+        assert cmp.mean_gap == pytest.approx(0.1)
+
+    def test_symmetry(self):
+        a = [0.8, 0.82, 0.78]
+        b = [0.75, 0.77, 0.73]
+        ab = compare_accuracies(a, b)
+        ba = compare_accuracies(b, a)
+        assert ab.p_value == pytest.approx(ba.p_value)

@@ -1,0 +1,151 @@
+"""Training harnesses: protocols, phase accounting, stopping rules."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import enzymes, kfold_splits, load_dataset
+from repro.models import graph_config
+from repro.train import (
+    GraphClassificationTrainer,
+    NodeClassificationTrainer,
+    multi_gpu_epoch_time,
+)
+
+
+@pytest.fixture(scope="module")
+def small_enzymes():
+    return enzymes(seed=0, num_graphs=48)
+
+
+@pytest.fixture(scope="module")
+def cora_small():
+    return load_dataset("cora")
+
+
+class TestNodeTrainer:
+    def test_runs_and_reports(self, cora_small):
+        trainer = NodeClassificationTrainer("pygx", "gcn", cora_small, max_epochs=5)
+        result = trainer.run(seed=0)
+        assert result.n_epochs == 5
+        assert 0.0 <= result.test_acc <= 1.0
+        assert result.mean_epoch_time > 0
+        assert result.mean_full_epoch_time > result.mean_epoch_time
+        assert result.peak_memory > 0
+
+    def test_learns_above_chance(self, cora_small):
+        trainer = NodeClassificationTrainer("pygx", "gcn", cora_small, max_epochs=30)
+        result = trainer.run(seed=0)
+        assert result.test_acc > 2.0 / 7.0  # well above the 1/7 chance level
+
+    def test_loss_decreases(self, cora_small):
+        trainer = NodeClassificationTrainer("pygx", "gcn", cora_small, max_epochs=20)
+        result = trainer.run(seed=0)
+        assert result.epochs[-1].train_loss < result.epochs[0].train_loss
+
+    def test_epoch_has_no_data_loading_phase(self, cora_small):
+        """Full-batch training loads the graph once, before epoch timing."""
+        trainer = NodeClassificationTrainer("dglx", "gcn", cora_small, max_epochs=2)
+        result = trainer.run(seed=0)
+        for record in result.epochs:
+            assert record.phase_times.get("data_loading", 0.0) == 0.0
+
+    def test_run_seeds_aggregates(self, cora_small):
+        trainer = NodeClassificationTrainer("pygx", "gcn", cora_small, max_epochs=2)
+        agg = trainer.run_seeds(seeds=(0, 1))
+        assert len(agg.runs) == 2
+        assert agg.dataset == "Cora"
+        assert agg.acc_std >= 0
+
+    def test_unknown_framework(self, cora_small):
+        with pytest.raises(ValueError):
+            NodeClassificationTrainer("jax", "gcn", cora_small)
+
+
+class TestGraphTrainer:
+    def test_fold_runs(self, small_enzymes):
+        splits = kfold_splits(small_enzymes.labels, 4, np.random.default_rng(0))
+        trainer = GraphClassificationTrainer(
+            "pygx", "gcn", small_enzymes, batch_size=16, max_epochs=3
+        )
+        result = trainer.run_fold(*splits[0], seed=0)
+        assert result.n_epochs == 3
+        assert set(result.epochs[0].phase_times) >= {"data_loading", "forward", "backward", "update"}
+
+    def test_stops_when_lr_decays_to_min(self, small_enzymes):
+        splits = kfold_splits(small_enzymes.labels, 4, np.random.default_rng(0))
+        cfg = graph_config(
+            "gcn",
+            in_dim=small_enzymes.num_features,
+            n_classes=small_enzymes.num_classes,
+            lr_patience=0,
+            min_lr=0.5e-3,
+            lr=1e-3,
+        )
+        trainer = GraphClassificationTrainer(
+            "pygx", "gcn", small_enzymes, batch_size=16, max_epochs=50, config=cfg
+        )
+        result = trainer.run_fold(*splits[0], seed=0)
+        # patience 0: lr halves as soon as val loss fails to improve, and
+        # training must stop well before the epoch cap.
+        assert result.n_epochs < 50
+
+    def test_cross_validate_max_folds(self, small_enzymes):
+        trainer = GraphClassificationTrainer(
+            "pygx", "gcn", small_enzymes, batch_size=16, max_epochs=2
+        )
+        agg = trainer.cross_validate(n_folds=4, max_folds=2)
+        assert len(agg.runs) == 2
+        assert agg.epoch_time > 0
+
+    def test_measure_epoch_phases(self, small_enzymes):
+        trainer = GraphClassificationTrainer(
+            "dglx", "gin", small_enzymes, batch_size=16
+        )
+        result = trainer.measure_epoch(n_epochs=2)
+        phases = result.mean_phase_times()
+        assert phases["data_loading"] > 0
+        assert phases["forward"] > 0
+        assert phases["backward"] > 0
+        assert phases["update"] > 0
+
+    def test_both_frameworks_train_same_protocol(self, small_enzymes):
+        splits = kfold_splits(small_enzymes.labels, 4, np.random.default_rng(0))
+        for fw in ("pygx", "dglx"):
+            trainer = GraphClassificationTrainer(
+                fw, "sage", small_enzymes, batch_size=16, max_epochs=2
+            )
+            result = trainer.run_fold(*splits[0], seed=0)
+            assert result.n_epochs == 2
+
+    def test_invalid_framework(self, small_enzymes):
+        with pytest.raises(ValueError):
+            GraphClassificationTrainer("tf", "gcn", small_enzymes)
+
+
+class TestMultiGPU:
+    @pytest.fixture(scope="class")
+    def mnist(self):
+        return load_dataset("mnist", num_graphs=60)
+
+    def test_epoch_time_positive(self, mnist):
+        t = multi_gpu_epoch_time("pygx", "gcn", mnist, batch_size=20, n_gpus=1, max_batches=2)
+        assert t > 0
+
+    def test_compute_shrinks_with_more_gpus(self, mnist):
+        t1 = multi_gpu_epoch_time("pygx", "gat", mnist, batch_size=20, n_gpus=1, max_batches=2)
+        t2 = multi_gpu_epoch_time("pygx", "gat", mnist, batch_size=20, n_gpus=2, max_batches=2)
+        # 2 GPUs must not double the time; typically a mild improvement
+        assert t2 < t1 * 1.2
+
+    def test_eight_gpus_not_faster_than_four(self, mnist):
+        t4 = multi_gpu_epoch_time("pygx", "gcn", mnist, batch_size=40, n_gpus=4, max_batches=1)
+        t8 = multi_gpu_epoch_time("pygx", "gcn", mnist, batch_size=40, n_gpus=8, max_batches=1)
+        assert t8 > t4 * 0.8  # transfer overhead eats the compute gains
+
+    def test_validates_arguments(self, mnist):
+        with pytest.raises(ValueError):
+            multi_gpu_epoch_time("pygx", "gcn", mnist, batch_size=4, n_gpus=8)
+        with pytest.raises(ValueError):
+            multi_gpu_epoch_time("pygx", "gcn", mnist, batch_size=8, n_gpus=0)
+        with pytest.raises(ValueError):
+            multi_gpu_epoch_time("mxnet", "gcn", mnist, batch_size=8, n_gpus=1)
