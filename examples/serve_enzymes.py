@@ -1,0 +1,86 @@
+"""Serving demo: train, checkpoint, then serve open-loop ENZYMES traffic.
+
+Trains a GCN for a few epochs (Table V protocol, shortened), saves the
+checkpoint, loads it back through the serving registry, and replays a
+Poisson arrival trace through the dynamic batcher — once unbatched, once
+batched — followed by an over-capacity burst that exercises admission
+control.
+
+Run:
+    python examples/serve_enzymes.py [framework] [rate]
+    python examples/serve_enzymes.py dglx 2500
+"""
+
+import sys
+import tempfile
+
+import numpy as np
+
+from repro.datasets import enzymes, kfold_splits
+from repro.serve import (
+    DynamicBatcher,
+    ModelRegistry,
+    ServeSimulator,
+    bursty_trace,
+    poisson_trace,
+)
+from repro.train import GraphClassificationTrainer, checkpoint_name, save_checkpoint
+
+
+def describe(tag, result):
+    print(
+        f"{tag:<12} completed {result.completed:4d}/{result.n_requests}  "
+        f"shed {result.shed:4d} {result.shed_by_reason or ''}  "
+        f"p50 {result.p50 * 1e3:7.2f} ms  p99 {result.p99 * 1e3:7.2f} ms  "
+        f"{result.throughput:7.1f} req/s  mean batch {result.mean_batch_size:5.2f}"
+    )
+
+
+def main() -> None:
+    framework = sys.argv[1] if len(sys.argv) > 1 else "pygx"
+    rate = float(sys.argv[2]) if len(sys.argv) > 2 else 2000.0
+
+    dataset = enzymes()
+    train_idx, val_idx, test_idx = kfold_splits(
+        dataset.labels, 10, np.random.default_rng(0)
+    )[0]
+    print(f"training {framework}/gcn on {dataset} (4 epochs, fold 1) ...")
+    trainer = GraphClassificationTrainer(framework, "gcn", dataset, max_epochs=4)
+    trainer.run_fold(train_idx, val_idx, test_idx, seed=0)
+
+    registry = ModelRegistry()
+    with tempfile.TemporaryDirectory() as tmp:
+        path = f"{tmp}/{checkpoint_name(framework, 'gcn', 'enzymes')}"
+        save_checkpoint(trainer.final_model, path)
+        registry.register_checkpoint(framework, "gcn", "enzymes", path, config=trainer.config)
+        inference = registry.get(framework, "gcn", "enzymes")
+        print(f"serving {inference}\n")
+
+        trace = poisson_trace(1000, rate=rate, rng=0)
+        print(f"1000-request Poisson trace @ {rate:.0f} req/s, queue capacity 128:")
+        for max_batch in (1, 8, 32):
+            simulator = ServeSimulator(
+                inference,
+                DynamicBatcher(max_batch_size=max_batch, max_nodes=4096),
+                queue_capacity=128,
+            )
+            describe(f"batch<={max_batch}", simulator.replay(dataset.graphs, trace))
+
+        print("\nover-capacity bursts (150-request bursts, queue 32, 250 ms deadline):")
+        burst = bursty_trace(450, burst_size=150, burst_rate=20000.0, idle_gap=0.05, rng=1)
+        simulator = ServeSimulator(
+            inference,
+            DynamicBatcher(max_batch_size=8, max_nodes=1024),
+            queue_capacity=32,
+            deadline=0.25,
+        )
+        result = simulator.replay(dataset.graphs, burst)
+        describe("burst", result)
+        print(
+            f"\nqueue never exceeded capacity (max depth {result.max_queue_depth}); "
+            f"overload was shed with typed Overloaded rejections, not queued forever."
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -3,13 +3,17 @@
 from repro.bench.runner import (
     FRAMEWORKS,
     PHASE_ORDER,
+    SERVING_COLUMNS,
     breakdown_row,
     breakdown_sweep,
     epoch_profile,
     layerwise_profile,
     multigpu_series,
+    serving_cell,
+    serving_row,
     table4_cell,
     table5_cell,
+    trained_inference_model,
 )
 from repro.bench.charts import horizontal_bars, series_table, stacked_bars
 from repro.bench.overlap import OverlapProjection, project_overlap
@@ -17,6 +21,8 @@ from repro.bench.serialize import (
     experiments_from_json,
     experiments_to_csv,
     experiments_to_json,
+    servings_from_json,
+    servings_to_json,
 )
 from repro.bench.tables import format_seconds, format_table
 
@@ -40,4 +46,10 @@ __all__ = [
     "experiments_to_json",
     "experiments_from_json",
     "experiments_to_csv",
+    "servings_to_json",
+    "servings_from_json",
+    "serving_cell",
+    "serving_row",
+    "SERVING_COLUMNS",
+    "trained_inference_model",
 ]

@@ -7,6 +7,7 @@ Regenerates any of the paper's experiments from a shell, without pytest::
     python -m repro.bench.report fig1 --batch-sizes 64 128 --models gcn
     python -m repro.bench.report fig6 --num-graphs 500
     python -m repro.bench.report fig3 --json out.json
+    python -m repro.bench.report serve --requests 500 --rate 1500 --json serving.json
 
 Every subcommand prints the paper-style table (and, where it helps, an
 ASCII chart); ``--json``/``--csv`` write machine-readable copies.
@@ -20,21 +21,30 @@ from typing import List, Optional
 
 from repro.bench import (
     PHASE_ORDER,
+    SERVING_COLUMNS,
     breakdown_row,
     breakdown_sweep,
     format_seconds,
     format_table,
     layerwise_profile,
     multigpu_series,
+    serving_cell,
+    serving_row,
     table4_cell,
     table5_cell,
 )
 from repro.bench.charts import stacked_bars
-from repro.bench.serialize import experiments_to_csv, experiments_to_json
+from repro.bench.serialize import (
+    experiments_to_csv,
+    experiments_to_json,
+    servings_to_json,
+)
 from repro.datasets import FULL_MNIST_SIZE, compute_statistics, load_dataset
 from repro.models import MODEL_NAMES
 
-EXPERIMENTS = ("table1", "table4", "table5", "fig1", "fig2", "fig3", "fig4", "fig5", "fig6")
+EXPERIMENTS = (
+    "table1", "table4", "table5", "fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "serve",
+)
 
 
 def _parser() -> argparse.ArgumentParser:
@@ -52,6 +62,10 @@ def _parser() -> argparse.ArgumentParser:
     parser.add_argument("--folds", type=int, default=1)
     parser.add_argument("--json", default=None, help="write experiment JSON here")
     parser.add_argument("--csv", default=None, help="write summary CSV here")
+    parser.add_argument("--requests", type=int, default=500, help="serve: trace length")
+    parser.add_argument("--rate", type=float, default=1500.0, help="serve: arrivals/s")
+    parser.add_argument("--queue-capacity", type=int, default=128)
+    parser.add_argument("--max-batch-size", type=int, default=32)
     return parser
 
 
@@ -198,6 +212,42 @@ def _run_fig6(args) -> None:
                        title="Fig. 6: epoch time (ms) vs GPU count, MNIST"))
 
 
+def _run_serve(args) -> None:
+    from repro.serve import poisson_trace
+
+    results = []
+    rows = []
+    for dataset in args.datasets or ["enzymes"]:
+        for model in args.models if args.models != list(MODEL_NAMES) else ["gcn"]:
+            for framework in args.frameworks:
+                trace = poisson_trace(args.requests, rate=args.rate, rng=0)
+                for max_batch in (1, args.max_batch_size):
+                    result = serving_cell(
+                        framework,
+                        model,
+                        dataset,
+                        tuple(trace),
+                        max_batch_size=max_batch,
+                        queue_capacity=args.queue_capacity,
+                        num_graphs=args.num_graphs,
+                    )
+                    results.append(result)
+                    rows.append([f"b{max_batch}"] + serving_row(result))
+    print(
+        format_table(
+            ["policy"] + SERVING_COLUMNS,
+            rows,
+            title=(
+                f"Serving: {args.requests}-request Poisson trace @ {args.rate:.0f}/s "
+                "(b1 = no batching)"
+            ),
+        )
+    )
+    if args.json:
+        with open(args.json, "w") as fh:
+            fh.write(servings_to_json(results))
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     args = _parser().parse_args(argv)
     if args.experiment == "table1":
@@ -218,6 +268,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         _run_resource(args, "utilisation")
     elif args.experiment == "fig6":
         _run_fig6(args)
+    elif args.experiment == "serve":
+        _run_serve(args)
     return 0
 
 

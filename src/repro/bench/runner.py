@@ -18,6 +18,8 @@ from repro.device import Device, use_device
 from repro.models import MODEL_NAMES, graph_config
 from repro.nn import cross_entropy
 from repro.optim import Adam
+from repro.serve import DynamicBatcher, InferenceModel, ServeSimulator
+from repro.serve.metrics import ServingResult
 from repro.train import (
     ExperimentResult,
     GraphClassificationTrainer,
@@ -185,6 +187,87 @@ def layerwise_profile(
         step_elapsed = before.delta(device.clock).elapsed
         scopes["other"] = max(step_elapsed - sum(scopes.values()), 0.0)
         return scopes
+
+
+# ----------------------------------------------------------------------
+# Serving (repro.serve): dynamic-batching inference under open-loop load
+# ----------------------------------------------------------------------
+@lru_cache(maxsize=None)
+def trained_inference_model(
+    framework: str,
+    model: str,
+    dataset_name: str,
+    num_graphs: int = 0,
+    train_epochs: int = 2,
+    seed: int = 0,
+) -> InferenceModel:
+    """Briefly train one model and wrap it for serving (cached per process).
+
+    Serving benchmarks care about the latency/throughput of the inference
+    path, not converged accuracy, so a couple of epochs suffice — the same
+    trade the Fig. 1/2 timing benches make.
+    """
+    dataset = load_dataset(dataset_name, num_graphs=num_graphs)
+    trainer = GraphClassificationTrainer(framework, model, dataset, batch_size=128)
+    trainer.measure_epoch(n_epochs=train_epochs, seed=seed)
+    return InferenceModel(framework, trainer.final_model, trainer.config, dataset_name)
+
+
+def serving_cell(
+    framework: str,
+    model: str,
+    dataset_name: str,
+    arrivals: Sequence[float],
+    max_batch_size: int = 32,
+    max_nodes: Optional[int] = 4096,
+    queue_capacity: int = 128,
+    deadline: Optional[float] = None,
+    num_graphs: int = 0,
+    train_epochs: int = 2,
+    seed: int = 0,
+) -> ServingResult:
+    """Replay one arrival trace against a briefly-trained model."""
+    inference = trained_inference_model(
+        framework, model, dataset_name, num_graphs, train_epochs, seed
+    )
+    simulator = ServeSimulator(
+        inference,
+        DynamicBatcher(max_batch_size=max_batch_size, max_nodes=max_nodes),
+        queue_capacity=queue_capacity,
+        deadline=deadline,
+    )
+    dataset = load_dataset(dataset_name, num_graphs=num_graphs)
+    return simulator.replay(dataset.graphs, arrivals)
+
+
+def serving_row(result: ServingResult) -> List[str]:
+    """Human-readable table row for one serving run."""
+    return [
+        result.model,
+        result.framework,
+        str(result.completed),
+        str(result.shed),
+        f"{result.p50 * 1e3:.2f}",
+        f"{result.p95 * 1e3:.2f}",
+        f"{result.p99 * 1e3:.2f}",
+        f"{result.throughput:.0f}",
+        f"{result.mean_batch_size:.2f}",
+        str(result.max_queue_depth),
+    ]
+
+
+SERVING_COLUMNS = [
+    "model",
+    "fw",
+    "done",
+    "shed",
+    "p50(ms)",
+    "p95(ms)",
+    "p99(ms)",
+    "req/s",
+    "batch",
+    "maxq",
+]
 
 
 # ----------------------------------------------------------------------

@@ -12,6 +12,7 @@ import io
 import json
 from typing import Dict, Iterable, List
 
+from repro.serve.metrics import ServingResult
 from repro.train.results import EpochRecord, ExperimentResult, RunResult
 
 
@@ -84,6 +85,68 @@ def experiments_to_json(results: Iterable[ExperimentResult], include_runs: bool 
 
 def experiments_from_json(text: str) -> List[ExperimentResult]:
     return [experiment_from_dict(d) for d in json.loads(text)]
+
+
+def serving_to_dict(result: ServingResult) -> Dict:
+    """Losslessly flatten a serving run (JSON object keys become strings)."""
+    return {
+        "framework": result.framework,
+        "model": result.model,
+        "dataset": result.dataset,
+        "n_requests": result.n_requests,
+        "completed": result.completed,
+        "shed": result.shed,
+        "shed_by_reason": dict(result.shed_by_reason),
+        "latency_percentiles": {str(p): v for p, v in result.latency_percentiles.items()},
+        "mean_latency": result.mean_latency,
+        "mean_queue_delay": result.mean_queue_delay,
+        "throughput": result.throughput,
+        "mean_batch_size": result.mean_batch_size,
+        "batch_size_histogram": {str(k): v for k, v in result.batch_size_histogram.items()},
+        "max_queue_depth": result.max_queue_depth,
+        "mean_queue_depth": result.mean_queue_depth,
+        "elapsed": result.elapsed,
+        "gpu_utilization": result.gpu_utilization,
+        "busy_fraction": result.busy_fraction,
+        "phase_times": dict(result.phase_times),
+    }
+
+
+def serving_from_dict(data: Dict) -> ServingResult:
+    return ServingResult(
+        framework=data["framework"],
+        model=data["model"],
+        dataset=data["dataset"],
+        n_requests=data["n_requests"],
+        completed=data["completed"],
+        shed=data["shed"],
+        shed_by_reason=dict(data.get("shed_by_reason", {})),
+        latency_percentiles={
+            float(p): v for p, v in data["latency_percentiles"].items()
+        },
+        mean_latency=data["mean_latency"],
+        mean_queue_delay=data["mean_queue_delay"],
+        throughput=data["throughput"],
+        mean_batch_size=data["mean_batch_size"],
+        batch_size_histogram={
+            int(k): v for k, v in data.get("batch_size_histogram", {}).items()
+        },
+        max_queue_depth=data["max_queue_depth"],
+        mean_queue_depth=data["mean_queue_depth"],
+        elapsed=data["elapsed"],
+        gpu_utilization=data["gpu_utilization"],
+        busy_fraction=data["busy_fraction"],
+        phase_times=dict(data.get("phase_times", {})),
+    )
+
+
+def servings_to_json(results: Iterable[ServingResult]) -> str:
+    """Serialise serving runs to a JSON document (BENCH_serving.json shape)."""
+    return json.dumps([serving_to_dict(r) for r in results], indent=2)
+
+
+def servings_from_json(text: str) -> List[ServingResult]:
+    return [serving_from_dict(d) for d in json.loads(text)]
 
 
 def experiments_to_csv(results: Iterable[ExperimentResult]) -> str:

@@ -27,6 +27,7 @@ class SimClock:
     def __init__(self) -> None:
         self.elapsed: float = 0.0
         self.gpu_busy: float = 0.0
+        self.idle: float = 0.0
         self._phase_stack: List[str] = []
         self.phase_elapsed: Dict[str, float] = {}
         self.phase_gpu_busy: Dict[str, float] = {}
@@ -39,6 +40,22 @@ class SimClock:
         if seconds < 0:
             raise ValueError(f"cannot advance the clock by {seconds!r}s")
         self.elapsed += seconds
+        phase = self.current_phase
+        if phase is not None:
+            self.phase_elapsed[phase] = self.phase_elapsed.get(phase, 0.0) + seconds
+
+    def advance_idle(self, seconds: float) -> None:
+        """Advance wall time with *no* work at all (server waiting for load).
+
+        Open-loop serving (``repro.serve``) fast-forwards over quiet periods
+        between request arrivals; the time still passes (so throughput and
+        utilisation stay honest) but it is tracked separately from host work
+        so busy fraction = ``(elapsed - idle) / elapsed`` is recoverable.
+        """
+        if seconds < 0:
+            raise ValueError(f"cannot advance the clock by {seconds!r}s")
+        self.elapsed += seconds
+        self.idle += seconds
         phase = self.current_phase
         if phase is not None:
             self.phase_elapsed[phase] = self.phase_elapsed.get(phase, 0.0) + seconds
@@ -81,6 +98,12 @@ class SimClock:
             return 0.0
         return self.gpu_busy / self.elapsed
 
+    def busy_fraction(self) -> float:
+        """Fraction of elapsed time spent doing any work (host or GPU)."""
+        if self.elapsed == 0.0:
+            return 0.0
+        return (self.elapsed - self.idle) / self.elapsed
+
     def snapshot(self) -> "ClockSnapshot":
         """Capture the current counters for later differencing."""
         return ClockSnapshot(
@@ -95,6 +118,7 @@ class SimClock:
             raise RuntimeError("cannot reset the clock inside an active phase")
         self.elapsed = 0.0
         self.gpu_busy = 0.0
+        self.idle = 0.0
         self.phase_elapsed.clear()
         self.phase_gpu_busy.clear()
 

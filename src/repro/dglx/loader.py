@@ -2,14 +2,15 @@
 
 from __future__ import annotations
 
-from typing import Iterator, List, Optional, Sequence, Tuple
+from typing import Iterator, List, Sequence, Tuple
 
 import numpy as np
 
 from repro.device import current_device
 from repro.dglx.batch import batch as dgl_batch
 from repro.dglx.heterograph import DGLGraph
-from repro.graph import GraphSample
+from repro.graph import GraphSample, as_generator
+from repro.graph.graph import RngLike
 
 
 class GraphDataLoader:
@@ -24,16 +25,21 @@ class GraphDataLoader:
         graphs: Sequence[GraphSample],
         batch_size: int,
         shuffle: bool = False,
-        rng: Optional[np.random.Generator] = None,
+        rng: RngLike = None,
         drop_last: bool = False,
         with_pos: bool = False,
     ) -> None:
         if batch_size <= 0:
             raise ValueError("batch_size must be positive")
         self.graphs: List[GraphSample] = list(graphs)
+        if drop_last and len(self.graphs) < batch_size:
+            raise ValueError(
+                f"drop_last=True with batch_size={batch_size} would yield zero "
+                f"batches over {len(self.graphs)} graphs"
+            )
         self.batch_size = batch_size
         self.shuffle = shuffle
-        self.rng = rng or np.random.default_rng()
+        self.rng = as_generator(rng)
         self.drop_last = drop_last
         self.with_pos = with_pos
 

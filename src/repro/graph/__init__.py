@@ -9,10 +9,11 @@ from repro.graph.generators import (
     ring_motif,
     star_motif,
 )
-from repro.graph.graph import GraphSample, dedupe_edges, undirected_edge_index
+from repro.graph.graph import GraphSample, as_generator, dedupe_edges, undirected_edge_index
 
 __all__ = [
     "GraphSample",
+    "as_generator",
     "undirected_edge_index",
     "dedupe_edges",
     "planted_partition",

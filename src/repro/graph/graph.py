@@ -8,9 +8,23 @@ datasets play for PyG and DGL.
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Optional, Union
 
 import numpy as np
+
+RngLike = Union[int, np.integer, np.random.Generator, None]
+
+
+def as_generator(rng: RngLike) -> np.random.Generator:
+    """Coerce an ``int`` seed (or ``None``) into a ``numpy`` ``Generator``.
+
+    Loaders and the serving simulator accept either form; passing the same
+    seed twice gives two independent generators in the same state, which is
+    what reproducible shuffling/arrival traces need.
+    """
+    if isinstance(rng, (int, np.integer)):
+        return np.random.default_rng(int(rng))
+    return rng or np.random.default_rng()
 
 
 class GraphSample:

@@ -14,12 +14,13 @@ the cache), which is the standard trade made by caching loaders.
 
 from __future__ import annotations
 
-from typing import Iterator, List, Optional, Sequence
+from typing import Iterator, List, Sequence
 
 import numpy as np
 
 from repro.device import current_device
-from repro.graph import GraphSample
+from repro.graph import GraphSample, as_generator
+from repro.graph.graph import RngLike
 from repro.pygx.data import Batch, Data
 
 
@@ -30,12 +31,12 @@ class CachedDataLoader:
         self,
         graphs: Sequence[GraphSample],
         batch_size: int,
-        rng: Optional[np.random.Generator] = None,
+        rng: RngLike = None,
     ) -> None:
         if batch_size <= 0:
             raise ValueError("batch_size must be positive")
         self.batch_size = batch_size
-        order = (rng or np.random.default_rng()).permutation(len(graphs))
+        order = as_generator(rng).permutation(len(graphs))
         self._data = [Data.from_sample(graphs[i]) for i in order]
         self._cache: List[Batch] = []
 

@@ -2,12 +2,13 @@
 
 from __future__ import annotations
 
-from typing import Iterator, List, Optional, Sequence
+from typing import Iterator, List, Sequence
 
 import numpy as np
 
 from repro.device import current_device
-from repro.graph import GraphSample
+from repro.graph import GraphSample, as_generator
+from repro.graph.graph import RngLike
 from repro.pygx.data import Batch, Data
 
 
@@ -23,15 +24,20 @@ class DataLoader:
         graphs: Sequence[GraphSample],
         batch_size: int,
         shuffle: bool = False,
-        rng: Optional[np.random.Generator] = None,
+        rng: RngLike = None,
         drop_last: bool = False,
     ) -> None:
         if batch_size <= 0:
             raise ValueError("batch_size must be positive")
         self.data: List[Data] = [Data.from_sample(g) for g in graphs]
+        if drop_last and len(self.data) < batch_size:
+            raise ValueError(
+                f"drop_last=True with batch_size={batch_size} would yield zero "
+                f"batches over {len(self.data)} graphs"
+            )
         self.batch_size = batch_size
         self.shuffle = shuffle
-        self.rng = rng or np.random.default_rng()
+        self.rng = as_generator(rng)
         self.drop_last = drop_last
 
     def __len__(self) -> int:

@@ -1,0 +1,147 @@
+"""Serving-side observability: latency percentiles, throughput, shedding.
+
+Everything is measured against the simulated clock, so a serving run
+produces the same kind of phase breakdown as the training figures
+(data_loading / forward / idle) plus the latency-distribution metrics a
+production service is judged by (p50/p95/p99, throughput, shed rate).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+import numpy as np
+
+from repro.serve.request import InferenceResponse
+
+LATENCY_PERCENTILES = (50.0, 95.0, 99.0)
+
+
+@dataclass
+class ServingResult:
+    """Summary of one serving run (one model under one traffic trace)."""
+
+    framework: str
+    model: str
+    dataset: str
+    n_requests: int
+    completed: int
+    shed: int
+    #: Shed requests by reason: ``queue_full`` (admission) / ``deadline``.
+    shed_by_reason: Dict[str, int]
+    #: Latency percentiles in simulated seconds, keyed ``50.0/95.0/99.0``.
+    latency_percentiles: Dict[float, float]
+    mean_latency: float
+    mean_queue_delay: float
+    #: Completed requests per simulated second.
+    throughput: float
+    mean_batch_size: float
+    #: Batch size -> number of batches dispatched at that size.
+    batch_size_histogram: Dict[int, int]
+    max_queue_depth: int
+    mean_queue_depth: float
+    #: Total simulated wall time of the run (arrival of first request to
+    #: completion of the last served one).
+    elapsed: float
+    gpu_utilization: float
+    busy_fraction: float
+    #: Per-phase elapsed seconds (data_loading / forward / idle).
+    phase_times: Dict[str, float]
+
+    @property
+    def p50(self) -> float:
+        return self.latency_percentiles[50.0]
+
+    @property
+    def p95(self) -> float:
+        return self.latency_percentiles[95.0]
+
+    @property
+    def p99(self) -> float:
+        return self.latency_percentiles[99.0]
+
+    @property
+    def shed_fraction(self) -> float:
+        return self.shed / self.n_requests if self.n_requests else 0.0
+
+
+@dataclass
+class ServerMetrics:
+    """Accumulates per-request and per-batch observations during a run."""
+
+    responses: List[InferenceResponse] = field(default_factory=list)
+    batch_sizes: List[int] = field(default_factory=list)
+    queue_depth_samples: List[int] = field(default_factory=list)
+    shed_by_reason: Counter = field(default_factory=Counter)
+
+    # ------------------------------------------------------------------
+    # recording
+    # ------------------------------------------------------------------
+    def record_batch(self, responses: List[InferenceResponse]) -> None:
+        self.responses.extend(responses)
+        self.batch_sizes.append(len(responses))
+
+    def record_shed(self, reason: str, count: int = 1) -> None:
+        self.shed_by_reason[reason] += count
+
+    def sample_queue_depth(self, depth: int) -> None:
+        self.queue_depth_samples.append(depth)
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    @property
+    def completed(self) -> int:
+        return len(self.responses)
+
+    @property
+    def shed(self) -> int:
+        return sum(self.shed_by_reason.values())
+
+    def latencies(self) -> np.ndarray:
+        return np.array([r.latency for r in self.responses], dtype=np.float64)
+
+    def latency_percentiles(self) -> Dict[float, float]:
+        lat = self.latencies()
+        if lat.size == 0:
+            return {p: 0.0 for p in LATENCY_PERCENTILES}
+        return {p: float(np.percentile(lat, p)) for p in LATENCY_PERCENTILES}
+
+    def summary(
+        self,
+        framework: str,
+        model: str,
+        dataset: str,
+        n_requests: int,
+        elapsed: float,
+        gpu_utilization: float,
+        busy_fraction: float,
+        phase_times: Dict[str, float],
+    ) -> ServingResult:
+        lat = self.latencies()
+        delays = np.array([r.queue_delay for r in self.responses], dtype=np.float64)
+        return ServingResult(
+            framework=framework,
+            model=model,
+            dataset=dataset,
+            n_requests=n_requests,
+            completed=self.completed,
+            shed=self.shed,
+            shed_by_reason=dict(self.shed_by_reason),
+            latency_percentiles=self.latency_percentiles(),
+            mean_latency=float(lat.mean()) if lat.size else 0.0,
+            mean_queue_delay=float(delays.mean()) if delays.size else 0.0,
+            throughput=self.completed / elapsed if elapsed > 0 else 0.0,
+            mean_batch_size=float(np.mean(self.batch_sizes)) if self.batch_sizes else 0.0,
+            batch_size_histogram=dict(Counter(self.batch_sizes)),
+            max_queue_depth=max(self.queue_depth_samples, default=0),
+            mean_queue_depth=(
+                float(np.mean(self.queue_depth_samples)) if self.queue_depth_samples else 0.0
+            ),
+            elapsed=elapsed,
+            gpu_utilization=gpu_utilization,
+            busy_fraction=busy_fraction,
+            phase_times=dict(phase_times),
+        )

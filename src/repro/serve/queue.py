@@ -1,0 +1,86 @@
+"""Bounded request queue and admission control.
+
+The north-star deployment serves heavy open-loop traffic, where an
+unbounded queue converts overload into unbounded latency.  The serving
+layer instead bounds the queue and sheds load at the door with a typed
+:class:`~repro.serve.request.Overloaded` rejection — the standard
+admission-control posture for latency-sensitive inference services.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Iterator, Optional
+
+from repro.serve.request import InferenceRequest, Overloaded
+
+
+class RequestQueue:
+    """FIFO queue of pending requests with a hard capacity."""
+
+    def __init__(self, capacity: int) -> None:
+        if capacity <= 0:
+            raise ValueError("queue capacity must be positive")
+        self.capacity = capacity
+        self._pending: Deque[InferenceRequest] = deque()
+
+    def __len__(self) -> int:
+        return len(self._pending)
+
+    def __iter__(self) -> Iterator[InferenceRequest]:
+        return iter(self._pending)
+
+    @property
+    def full(self) -> bool:
+        return len(self._pending) >= self.capacity
+
+    def push(self, request: InferenceRequest) -> None:
+        if self.full:
+            raise Overloaded(
+                f"queue full at depth {len(self._pending)}",
+                queue_depth=len(self._pending),
+            )
+        self._pending.append(request)
+
+    def peek(self) -> Optional[InferenceRequest]:
+        return self._pending[0] if self._pending else None
+
+    def pop(self) -> InferenceRequest:
+        if not self._pending:
+            raise IndexError("pop from an empty request queue")
+        return self._pending.popleft()
+
+
+class AdmissionController:
+    """Decides, per request, between enqueueing and shedding.
+
+    Two shedding points:
+
+    * **at admission** — the bounded queue is full: raise
+      :class:`Overloaded` (``reason='queue_full'``) back to the client;
+    * **at dispatch** — the request's deadline passed while it queued:
+      drop it (``reason='deadline'``) rather than spend service capacity
+      on an answer nobody is waiting for.
+    """
+
+    def __init__(self, queue: RequestQueue, default_deadline: Optional[float] = None) -> None:
+        if default_deadline is not None and default_deadline <= 0:
+            raise ValueError("default_deadline must be positive when set")
+        self.queue = queue
+        self.default_deadline = default_deadline
+
+    def admit(self, request: InferenceRequest, now: float) -> None:
+        """Enqueue ``request`` or raise :class:`Overloaded`."""
+        if request.deadline is None:
+            request.deadline = self.default_deadline
+        if request.expired(now):
+            raise Overloaded(
+                f"request {request.request_id} already past its deadline on arrival",
+                queue_depth=len(self.queue),
+                reason="deadline",
+            )
+        self.queue.push(request)
+
+    def still_live(self, request: InferenceRequest, now: float) -> bool:
+        """Dispatch-time check: ``False`` means shed as a deadline miss."""
+        return not request.expired(now)

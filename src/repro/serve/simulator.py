@@ -1,0 +1,176 @@
+"""Open-loop serving simulation against the simulated device clock.
+
+The simulator replays an exogenous arrival trace (requests arrive whether
+or not the server keeps up — the open-loop regime production services live
+in) against one :class:`~repro.serve.registry.InferenceModel`.  Service
+work (collation + forward) advances the simulated clock exactly as training
+does; quiet periods fast-forward via :meth:`SimClock.advance_idle`, so
+throughput, latency and utilisation all come out of the same clock that
+produces the paper's Figs. 1-2 breakdowns.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.device import Device, use_device
+from repro.graph import GraphSample, as_generator
+from repro.graph.graph import RngLike
+from repro.serve.batcher import DynamicBatcher
+from repro.serve.metrics import ServerMetrics, ServingResult
+from repro.serve.queue import AdmissionController, RequestQueue
+from repro.serve.registry import InferenceModel
+from repro.serve.request import InferenceRequest, InferenceResponse, Overloaded
+
+
+# ----------------------------------------------------------------------
+# arrival traces
+# ----------------------------------------------------------------------
+def poisson_trace(n_requests: int, rate: float, rng: RngLike = None) -> np.ndarray:
+    """Arrival times of a Poisson process with ``rate`` requests/second."""
+    if n_requests <= 0:
+        raise ValueError("n_requests must be positive")
+    if rate <= 0:
+        raise ValueError("rate must be positive")
+    gaps = as_generator(rng).exponential(1.0 / rate, size=n_requests)
+    return np.cumsum(gaps)
+
+
+def bursty_trace(
+    n_requests: int,
+    burst_size: int,
+    burst_rate: float,
+    idle_gap: float,
+    rng: RngLike = None,
+) -> np.ndarray:
+    """On/off traffic: Poisson bursts of ``burst_size`` split by idle gaps.
+
+    Within a burst, arrivals come at ``burst_rate``; between bursts the
+    source goes quiet for ``idle_gap`` seconds.  This is the trace that
+    exercises admission control: a burst can exceed queue capacity even
+    when the long-run average rate is sustainable.
+    """
+    if burst_size <= 0:
+        raise ValueError("burst_size must be positive")
+    if idle_gap < 0:
+        raise ValueError("idle_gap must be non-negative")
+    generator = as_generator(rng)
+    times: List[float] = []
+    t = 0.0
+    while len(times) < n_requests:
+        for _ in range(min(burst_size, n_requests - len(times))):
+            t += float(generator.exponential(1.0 / burst_rate))
+            times.append(t)
+        t += idle_gap
+    return np.array(times)
+
+
+# ----------------------------------------------------------------------
+# the simulator
+# ----------------------------------------------------------------------
+class ServeSimulator:
+    """Single-server discrete-event replay of an arrival trace."""
+
+    def __init__(
+        self,
+        inference: InferenceModel,
+        batcher: Optional[DynamicBatcher] = None,
+        queue_capacity: int = 256,
+        deadline: Optional[float] = None,
+        device: Optional[Device] = None,
+    ) -> None:
+        self.inference = inference
+        self.batcher = batcher or DynamicBatcher()
+        if queue_capacity <= 0:
+            raise ValueError("queue capacity must be positive")
+        self.queue_capacity = queue_capacity
+        self.deadline = deadline
+        self.device = device or Device()
+
+    def replay(
+        self, samples: Sequence[GraphSample], arrival_times: Sequence[float]
+    ) -> ServingResult:
+        """Serve one request per arrival time, cycling over ``samples``.
+
+        The loop alternates between admitting every request whose arrival
+        time has passed, dispatching one dynamically-batched micro-batch,
+        and — when the queue is empty — fast-forwarding the clock to the
+        next arrival.
+        """
+        arrivals = np.asarray(arrival_times, dtype=np.float64)
+        if arrivals.size == 0:
+            raise ValueError("arrival trace is empty")
+        if np.any(np.diff(arrivals) < 0):
+            raise ValueError("arrival times must be non-decreasing")
+        if not samples:
+            raise ValueError("need at least one graph sample to serve")
+        requests = [
+            InferenceRequest(i, samples[i % len(samples)], float(t))
+            for i, t in enumerate(arrivals)
+        ]
+
+        with use_device(self.device):
+            clock = self.device.clock
+            queue = RequestQueue(self.queue_capacity)
+            admission = AdmissionController(queue, default_deadline=self.deadline)
+            metrics = ServerMetrics()
+            start = clock.snapshot()
+            t0 = clock.elapsed
+            idle0 = clock.idle
+            n = len(requests)
+            i = 0  # next request not yet offered to admission
+            while True:
+                now = clock.elapsed - t0
+                while i < n and requests[i].arrival_time <= now:
+                    try:
+                        admission.admit(requests[i], now)
+                    except Overloaded as rejection:
+                        metrics.record_shed(rejection.reason)
+                    i += 1
+                metrics.sample_queue_depth(len(queue))
+                if len(queue) == 0:
+                    if i >= n:
+                        break
+                    gap = requests[i].arrival_time - now
+                    with clock.phase("idle"):
+                        clock.advance_idle(gap)
+                    continue
+                batch, expired = self.batcher.next_batch(queue, admission, now)
+                if expired:
+                    metrics.record_shed("deadline", len(expired))
+                if not batch:
+                    continue
+                dispatch = clock.elapsed - t0
+                collated = self.inference.collate([r.sample for r in batch])
+                logits = self.inference.forward(collated)
+                completion = clock.elapsed - t0
+                predictions = np.argmax(logits.data, axis=1)
+                metrics.record_batch(
+                    [
+                        InferenceResponse(
+                            request_id=r.request_id,
+                            prediction=int(p),
+                            arrival_time=r.arrival_time,
+                            dispatch_time=dispatch,
+                            completion_time=completion,
+                            batch_size=len(batch),
+                        )
+                        for r, p in zip(batch, predictions)
+                    ]
+                )
+
+            delta = start.delta(clock)
+            idle = clock.idle - idle0
+            elapsed = delta.elapsed
+            return metrics.summary(
+                framework=self.inference.framework,
+                model=self.inference.config.model,
+                dataset=self.inference.dataset,
+                n_requests=n,
+                elapsed=elapsed,
+                gpu_utilization=delta.gpu_busy / elapsed if elapsed > 0 else 0.0,
+                busy_fraction=(elapsed - idle) / elapsed if elapsed > 0 else 0.0,
+                phase_times=delta.phase_elapsed,
+            )

@@ -1,6 +1,12 @@
 """Training harnesses reproducing the paper's experiment protocols."""
 
-from repro.train.checkpoint import checkpoint_nbytes, load_checkpoint, save_checkpoint
+from repro.train.checkpoint import (
+    checkpoint_name,
+    checkpoint_nbytes,
+    load_checkpoint,
+    load_model,
+    save_checkpoint,
+)
 from repro.train.graph_trainer import GraphClassificationTrainer
 from repro.train.multi_gpu import multi_gpu_epoch_time
 from repro.train.node_trainer import NodeClassificationTrainer
@@ -16,6 +22,8 @@ __all__ = [
     "RunResult",
     "save_checkpoint",
     "load_checkpoint",
+    "load_model",
+    "checkpoint_name",
     "checkpoint_nbytes",
     "compare_accuracies",
     "AccuracyComparison",

@@ -9,7 +9,7 @@ DataParallel simulation broadcasts between replicas.
 from __future__ import annotations
 
 import os
-from typing import Union
+from typing import Optional, Union
 
 import numpy as np
 
@@ -36,3 +36,33 @@ def load_checkpoint(model: Module, path: PathLike) -> None:
 def checkpoint_nbytes(model: Module) -> int:
     """Size of a checkpoint's tensor payload in bytes."""
     return sum(array.nbytes for array in model.state_dict().values())
+
+
+def checkpoint_name(framework: str, model_name: str, dataset: str) -> str:
+    """Canonical file name for a ``(framework, model, dataset)`` checkpoint."""
+    return f"{framework}_{model_name}_{dataset}.npz"
+
+
+def load_model(
+    framework: str,
+    config,
+    path: PathLike,
+    rng: Optional[np.random.Generator] = None,
+) -> Module:
+    """Build a fresh model for ``framework``/``config`` and load ``path``.
+
+    This is the loading half of the serving story: the registry (and any
+    other consumer of trained weights) should not need to know which
+    framework pack a checkpoint came from beyond its name.  The returned
+    model keeps its default (training) mode; callers that serve it switch
+    to ``eval()`` themselves.
+    """
+    if framework == "pygx":
+        from repro.pygx import build_model
+    elif framework == "dglx":
+        from repro.dglx import build_model
+    else:
+        raise ValueError(f"unknown framework {framework!r}; options: ('pygx', 'dglx')")
+    model = build_model(config, rng or np.random.default_rng())
+    load_checkpoint(model, path)
+    return model

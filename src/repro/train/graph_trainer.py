@@ -65,6 +65,10 @@ class GraphClassificationTrainer:
             model_name, in_dim=dataset.num_features, n_classes=dataset.num_classes
         )
         self.device = device or Device()
+        #: The trained network from the most recent :meth:`run_fold` call —
+        #: the parameters "at the end of training" that Section IV-B.2
+        #: evaluates, and what gets checkpointed for serving.
+        self.final_model = None
 
     # ------------------------------------------------------------------
     # loaders
@@ -164,6 +168,7 @@ class GraphClassificationTrainer:
                     break  # the paper's stopping rule: LR decayed to 1e-6
 
             _, test_acc = self._evaluate(model, test_loader)
+            self.final_model = model
             total = start.delta(clock).elapsed
             return RunResult(
                 test_acc=test_acc,

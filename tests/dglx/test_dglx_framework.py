@@ -241,6 +241,18 @@ class TestGraphDataLoader:
         list(GraphDataLoader(gs, batch_size=2))
         assert fresh_device.clock.phase_elapsed["data_loading"] > 0
 
+    def test_int_seed_accepted_and_reproducible(self):
+        gs = [sample(3, label=i, seed=i) for i in range(8)]
+        first = GraphDataLoader(gs, batch_size=8, shuffle=True, rng=11)
+        second = GraphDataLoader(gs, batch_size=8, shuffle=True, rng=11)
+        (_, labels_a), (_, labels_b) = next(iter(first)), next(iter(second))
+        np.testing.assert_array_equal(labels_a, labels_b)
+
+    def test_drop_last_zero_batches_rejected(self):
+        gs = [sample(3, seed=i) for i in range(3)]
+        with pytest.raises(ValueError, match="zero"):
+            GraphDataLoader(gs, batch_size=8, drop_last=True)
+
     def test_frame_set_charges_host_time(self, fresh_device):
         g = DGLGraph.from_sample(sample(3))
         before = fresh_device.clock.elapsed

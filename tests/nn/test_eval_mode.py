@@ -1,0 +1,105 @@
+"""Train/eval mode round-trips across both framework packs.
+
+Serving runs models under ``eval()``; these tests pin the inference
+correctness prerequisite: Dropout becomes the identity and BatchNorm
+freezes its running statistics — identically in the PyG-style and
+DGL-style implementations — and ``train()`` restores training behaviour.
+"""
+
+import numpy as np
+import pytest
+
+from repro.datasets import enzymes
+from repro.models import graph_config
+
+FRAMEWORKS = ("pygx", "dglx")
+
+
+def build(framework, config, seed=0):
+    if framework == "pygx":
+        from repro.pygx import build_model
+    else:
+        from repro.dglx import build_model
+    return build_model(config, np.random.default_rng(seed))
+
+
+def collate(framework, graphs):
+    if framework == "pygx":
+        from repro.pygx import Batch, Data
+
+        return Batch.from_data_list([Data.from_sample(g) for g in graphs])
+    from repro.dglx import batch
+
+    return batch(list(graphs))
+
+
+@pytest.fixture(scope="module")
+def graphs():
+    return enzymes(seed=0, num_graphs=8).graphs
+
+
+@pytest.mark.parametrize("framework", FRAMEWORKS)
+class TestDropoutModeSwitch:
+    def config(self):
+        return graph_config("gcn", in_dim=18, n_classes=6, dropout=0.5)
+
+    def test_train_mode_is_stochastic(self, framework, graphs):
+        model = build(framework, self.config())
+        inputs = collate(framework, graphs)
+        out1 = model(inputs).data.copy()
+        out2 = model(collate(framework, graphs)).data.copy()
+        assert not np.allclose(out1, out2)
+
+    def test_eval_mode_is_deterministic(self, framework, graphs):
+        model = build(framework, self.config()).eval()
+        out1 = model(collate(framework, graphs)).data.copy()
+        out2 = model(collate(framework, graphs)).data.copy()
+        np.testing.assert_array_equal(out1, out2)
+
+    def test_round_trip_restores_training_flag_everywhere(self, framework, graphs):
+        model = build(framework, self.config())
+        assert all(m.training for m in model.modules())
+        model.eval()
+        assert all(not m.training for m in model.modules())
+        model.train()
+        assert all(m.training for m in model.modules())
+        # and the round-tripped model is stochastic again
+        out1 = model(collate(framework, graphs)).data.copy()
+        out2 = model(collate(framework, graphs)).data.copy()
+        assert not np.allclose(out1, out2)
+
+
+@pytest.mark.parametrize("framework", FRAMEWORKS)
+class TestBatchNormModeSwitch:
+    def config(self):
+        return graph_config("gin", in_dim=18, n_classes=6)
+
+    def test_train_forward_updates_running_stats(self, framework, graphs):
+        model = build(framework, self.config())
+        before = model.conv1.bn.running_mean.copy()
+        model(collate(framework, graphs))
+        assert not np.allclose(model.conv1.bn.running_mean, before)
+
+    def test_eval_forward_freezes_running_stats(self, framework, graphs):
+        model = build(framework, self.config())
+        model(collate(framework, graphs))  # give the buffers a real update
+        model.eval()
+        frozen = model.conv1.bn.running_mean.copy()
+        out1 = model(collate(framework, graphs)).data.copy()
+        out2 = model(collate(framework, graphs)).data.copy()
+        np.testing.assert_array_equal(model.conv1.bn.running_mean, frozen)
+        np.testing.assert_array_equal(out1, out2)
+
+
+@pytest.mark.parametrize("model_name", ["gcn", "gin"])
+def test_mode_switch_behaviour_identical_across_frameworks(model_name, graphs):
+    """Both packs flip the same switches: stochastic+stats-updating in
+    train, deterministic+frozen in eval."""
+    config = graph_config(model_name, in_dim=18, n_classes=6, dropout=0.5)
+    for framework in FRAMEWORKS:
+        model = build(framework, config)
+        train_out = [model(collate(framework, graphs)).data.copy() for _ in range(2)]
+        assert not np.allclose(train_out[0], train_out[1]), framework
+        model.eval()
+        eval_out = [model(collate(framework, graphs)).data.copy() for _ in range(2)]
+        np.testing.assert_array_equal(eval_out[0], eval_out[1], err_msg=framework)

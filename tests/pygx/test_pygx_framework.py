@@ -97,6 +97,15 @@ class TestDataLoader:
         list(loader)
         assert fresh_device.clock.phase_elapsed["data_loading"] > 0
 
+    def test_int_seed_accepted_and_reproducible(self):
+        first = DataLoader(self.graphs(16), batch_size=16, shuffle=True, rng=7)
+        second = DataLoader(self.graphs(16), batch_size=16, shuffle=True, rng=7)
+        np.testing.assert_array_equal(next(iter(first)).y, next(iter(second)).y)
+
+    def test_drop_last_zero_batches_rejected(self):
+        with pytest.raises(ValueError, match="zero"):
+            DataLoader(self.graphs(3), batch_size=8, drop_last=True)
+
     def test_invalid_batch_size(self):
         with pytest.raises(ValueError):
             DataLoader(self.graphs(4), batch_size=0)

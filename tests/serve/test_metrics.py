@@ -1,0 +1,85 @@
+"""Serving metrics: percentiles, histogram, throughput, shed accounting."""
+
+import numpy as np
+import pytest
+
+from repro.serve import InferenceResponse, ServerMetrics
+
+
+def response(request_id, arrival, dispatch, completion, batch_size=1):
+    return InferenceResponse(
+        request_id=request_id,
+        prediction=0,
+        arrival_time=arrival,
+        dispatch_time=dispatch,
+        completion_time=completion,
+        batch_size=batch_size,
+    )
+
+
+class TestResponseProperties:
+    def test_latency_decomposition(self):
+        r = response(0, arrival=1.0, dispatch=1.5, completion=2.0)
+        assert r.latency == pytest.approx(1.0)
+        assert r.queue_delay == pytest.approx(0.5)
+
+
+class TestServerMetrics:
+    def test_percentiles_from_known_latencies(self):
+        metrics = ServerMetrics()
+        metrics.record_batch(
+            [response(i, 0.0, 0.0, (i + 1) / 100.0) for i in range(100)]
+        )
+        pct = metrics.latency_percentiles()
+        latencies = np.arange(1, 101) / 100.0
+        for p in (50.0, 95.0, 99.0):
+            assert pct[p] == pytest.approx(float(np.percentile(latencies, p)))
+
+    def test_empty_metrics_are_zero(self):
+        metrics = ServerMetrics()
+        assert metrics.latency_percentiles() == {50.0: 0.0, 95.0: 0.0, 99.0: 0.0}
+        summary = metrics.summary("pygx", "gcn", "enzymes", 0, 0.0, 0.0, 0.0, {})
+        assert summary.completed == 0
+        assert summary.throughput == 0.0
+        assert summary.mean_batch_size == 0.0
+
+    def test_batch_size_histogram_and_mean(self):
+        metrics = ServerMetrics()
+        metrics.record_batch([response(0, 0, 0, 1), response(1, 0, 0, 1)])
+        metrics.record_batch([response(2, 0, 0, 2)])
+        metrics.record_batch([response(3, 0, 0, 3), response(4, 0, 0, 3)])
+        summary = metrics.summary("pygx", "gcn", "enzymes", 5, 3.0, 0.0, 1.0, {})
+        assert summary.batch_size_histogram == {2: 2, 1: 1}
+        assert summary.mean_batch_size == pytest.approx((2 + 1 + 2) / 3)
+
+    def test_shed_accounting_by_reason(self):
+        metrics = ServerMetrics()
+        metrics.record_shed("queue_full")
+        metrics.record_shed("queue_full")
+        metrics.record_shed("deadline", count=3)
+        assert metrics.shed == 5
+        summary = metrics.summary("pygx", "gcn", "enzymes", 10, 1.0, 0.0, 1.0, {})
+        assert summary.shed_by_reason == {"queue_full": 2, "deadline": 3}
+        assert summary.shed_fraction == pytest.approx(0.5)
+
+    def test_throughput_is_completed_per_elapsed(self):
+        metrics = ServerMetrics()
+        metrics.record_batch([response(i, 0, 0, 1) for i in range(6)])
+        summary = metrics.summary("pygx", "gcn", "enzymes", 6, 2.0, 0.0, 1.0, {})
+        assert summary.throughput == pytest.approx(3.0)
+
+    def test_queue_depth_samples(self):
+        metrics = ServerMetrics()
+        for depth in (0, 3, 7, 2):
+            metrics.sample_queue_depth(depth)
+        summary = metrics.summary("pygx", "gcn", "enzymes", 0, 1.0, 0.0, 1.0, {})
+        assert summary.max_queue_depth == 7
+        assert summary.mean_queue_depth == pytest.approx(3.0)
+
+    def test_p_properties_match_percentile_dict(self):
+        metrics = ServerMetrics()
+        metrics.record_batch([response(i, 0.0, 0.0, 0.5) for i in range(4)])
+        summary = metrics.summary("pygx", "gcn", "enzymes", 4, 1.0, 0.0, 1.0, {})
+        assert summary.p50 == summary.latency_percentiles[50.0] == pytest.approx(0.5)
+        assert summary.p95 == pytest.approx(0.5)
+        assert summary.p99 == pytest.approx(0.5)
