@@ -1,0 +1,87 @@
+"""Capture, optimise and replay a GNN training step (repro.compile).
+
+Walks the full compilation story on one ENZYMES training step:
+
+1. capture the eager kernel stream into an IR,
+2. run the optimization passes (DCE, CSE, constant folding, fusion) and
+   show what each eliminated,
+3. train eager vs compiled and compare kernel launches, epoch time and
+   loss curves (they must match exactly), and
+4. trip a guard on purpose to show the eager fallback + recapture.
+
+Run:
+    python examples/compile_training_step.py
+"""
+
+import numpy as np
+
+from repro.bench import compile_cell, format_table
+from repro.compile import CompiledStep
+from repro.datasets import load_dataset
+from repro.tensor import Tensor, ops
+
+
+def eager_vs_compiled() -> None:
+    rows = []
+    for model in ("gcn", "gin"):
+        for framework in ("pygx", "dglx"):
+            cell = compile_cell(framework, model, "enzymes", batch_size=128,
+                                num_graphs=256, n_epochs=2)
+            rows.append([
+                model,
+                framework,
+                str(cell["eager_launches_per_step"]),
+                str(cell["compiled_launches_per_step"]),
+                f"{cell['launch_reduction'] * 100:.0f}%",
+                f"{cell['speedup']:.2f}x",
+                "exact" if cell["parity"] else "DIVERGED",
+                f"dce={cell['pass_stats']['dce_removed']} "
+                f"cse={cell['pass_stats']['cse_removed']} "
+                f"fused={cell['pass_stats']['fused_members']}",
+            ])
+    print(format_table(
+        ["model", "fw", "eager", "compiled", "saved", "epoch speedup",
+         "numerics", "passes"],
+        rows,
+        title="Eager vs compiled training step, ENZYMES batch 128",
+    ))
+
+
+def guard_fallback_demo() -> None:
+    print("\nGuard / fallback demo")
+    print("---------------------")
+    w = Tensor(np.ones((8, 8), dtype=np.float32), requires_grad=True)
+    mode = {"variant": False}
+
+    def step(x):
+        h = ops.relu(ops.matmul(x, w))
+        if mode["variant"]:
+            h = ops.exp(h)  # control flow the signature cannot see
+        return h.sum()
+
+    compiled = CompiledStep(step)
+    x = Tensor(np.ones((4, 8), dtype=np.float32))
+    compiled(x)
+    print(f"after capture:       {compiled.stats}")
+    compiled(x)
+    print(f"after replay:        {compiled.stats}")
+    mode["variant"] = True
+    compiled(x)  # kernel stream diverges -> fail open, drop the plan
+    print(f"after guard failure: {compiled.stats} (plans={len(compiled.plans)})")
+    compiled(x)  # recaptures with the new control flow
+    print(f"after recapture:     {compiled.stats}")
+
+
+def main() -> None:
+    load_dataset("enzymes", num_graphs=256)  # warm the dataset cache
+    eager_vs_compiled()
+    guard_fallback_demo()
+    print(
+        "\nThe launch-bound regime the paper measures is exactly where fusing\n"
+        "launches pays: every eliminated launch saves a fixed host-side\n"
+        "overhead that no amount of GPU bandwidth can hide."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -6,8 +6,10 @@ from repro.bench.runner import (
     SERVING_COLUMNS,
     breakdown_row,
     breakdown_sweep,
+    compile_cell,
     epoch_profile,
     layerwise_profile,
+    step_kernel_records,
     multigpu_series,
     serving_cell,
     serving_row,
@@ -51,5 +53,7 @@ __all__ = [
     "serving_cell",
     "serving_row",
     "SERVING_COLUMNS",
+    "compile_cell",
+    "step_kernel_records",
     "trained_inference_model",
 ]

@@ -8,6 +8,8 @@ Regenerates any of the paper's experiments from a shell, without pytest::
     python -m repro.bench.report fig6 --num-graphs 500
     python -m repro.bench.report fig3 --json out.json
     python -m repro.bench.report serve --requests 500 --rate 1500 --json serving.json
+    python -m repro.bench.report compile --models gcn gin --json BENCH_compile.json
+    python -m repro.bench.report kernels --models gcn --compiled --top 12
 
 Every subcommand prints the paper-style table (and, where it helps, an
 ASCII chart); ``--json``/``--csv`` write machine-readable copies.
@@ -24,12 +26,14 @@ from repro.bench import (
     SERVING_COLUMNS,
     breakdown_row,
     breakdown_sweep,
+    compile_cell,
     format_seconds,
     format_table,
     layerwise_profile,
     multigpu_series,
     serving_cell,
     serving_row,
+    step_kernel_records,
     table4_cell,
     table5_cell,
 )
@@ -43,7 +47,8 @@ from repro.datasets import FULL_MNIST_SIZE, compute_statistics, load_dataset
 from repro.models import MODEL_NAMES
 
 EXPERIMENTS = (
-    "table1", "table4", "table5", "fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "serve",
+    "table1", "table4", "table5", "fig1", "fig2", "fig3", "fig4", "fig5", "fig6",
+    "serve", "compile", "kernels",
 )
 
 
@@ -66,6 +71,13 @@ def _parser() -> argparse.ArgumentParser:
     parser.add_argument("--rate", type=float, default=1500.0, help="serve: arrivals/s")
     parser.add_argument("--queue-capacity", type=int, default=128)
     parser.add_argument("--max-batch-size", type=int, default=32)
+    parser.add_argument(
+        "--compiled", action="store_true", help="kernels: profile the compiled step"
+    )
+    parser.add_argument("--top", type=int, default=15, help="kernels: rows to show")
+    parser.add_argument(
+        "--batch-size", type=int, default=128, help="compile/kernels: one-batch size"
+    )
     return parser
 
 
@@ -248,6 +260,95 @@ def _run_serve(args) -> None:
             fh.write(servings_to_json(results))
 
 
+def _run_compile(args) -> int:
+    """Eager vs compiled training: launches, epoch time, numerical parity."""
+    import json
+
+    cells = []
+    for dataset in args.datasets or ["enzymes"]:
+        for model in args.models if args.models != list(MODEL_NAMES) else ["gcn", "gin"]:
+            for framework in args.frameworks:
+                cells.append(
+                    compile_cell(
+                        framework,
+                        model,
+                        dataset,
+                        batch_size=args.batch_size,
+                        num_graphs=args.num_graphs,
+                        n_epochs=2,
+                    )
+                )
+    rows = [
+        [
+            c["model"],
+            c["framework"],
+            str(c["eager_launches_per_step"]),
+            str(c["compiled_launches_per_step"]),
+            f"{c['launch_reduction'] * 100:.0f}%",
+            f"{c['eager_epoch_time'] * 1e3:.2f}",
+            f"{c['compiled_epoch_time'] * 1e3:.2f}",
+            f"{c['speedup']:.2f}x",
+            "exact" if c["parity"] else "DIVERGED",
+        ]
+        for c in cells
+    ]
+    print(
+        format_table(
+            ["model", "fw", "eager", "compiled", "saved", "eager(ms)",
+             "compiled(ms)", "speedup", "numerics"],
+            rows,
+            title=f"repro.compile: kernel launches per step + epoch time "
+                  f"(batch {args.batch_size})",
+        )
+    )
+    path = args.json or "BENCH_compile.json"
+    with open(path, "w") as fh:
+        json.dump({"experiment": "compile", "cells": cells}, fh, indent=2)
+    print(f"wrote {path}")
+    if not all(c["parity"] for c in cells):
+        print("ERROR: compiled numerics diverged from eager", file=sys.stderr)
+        return 1
+    return 0
+
+
+def _run_kernels(args) -> None:
+    """Top-kernel table over one profiled training step (satellite of Fig. 3)."""
+    from repro.device import kernel_stats
+
+    for dataset in args.datasets or ["enzymes"]:
+        for model in args.models if args.models != list(MODEL_NAMES) else ["gcn"]:
+            for framework in args.frameworks:
+                records = step_kernel_records(
+                    framework,
+                    model,
+                    dataset,
+                    batch_size=args.batch_size,
+                    num_graphs=args.num_graphs,
+                    compiled=args.compiled,
+                )
+                step_time = sum(r.duration for r in records) or 1.0
+                stats = kernel_stats(records)
+                rows = [
+                    [
+                        s.name,
+                        str(s.launches),
+                        f"{s.total_time * 1e6:.1f}",
+                        f"{s.mean_time * 1e6:.2f}",
+                        f"{s.total_time / step_time * 100:.1f}%",
+                    ]
+                    for s in stats[: args.top]
+                ]
+                mode = "compiled" if args.compiled else "eager"
+                print(
+                    format_table(
+                        ["kernel", "launches", "total(us)", "mean(us)", "% step"],
+                        rows,
+                        title=f"Top kernels: {model}/{framework}/{dataset}, one {mode} "
+                              f"step ({len(records)} launches)",
+                    )
+                )
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     args = _parser().parse_args(argv)
     if args.experiment == "table1":
@@ -270,6 +371,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         _run_fig6(args)
     elif args.experiment == "serve":
         _run_serve(args)
+    elif args.experiment == "compile":
+        return _run_compile(args)
+    elif args.experiment == "kernels":
+        _run_kernels(args)
     return 0
 
 

@@ -117,6 +117,32 @@ def breakdown_sweep(
 
 
 # ----------------------------------------------------------------------
+# single-batch setup shared by the step-level benches
+# ----------------------------------------------------------------------
+def _single_batch(framework: str, config, dataset, batch_size: int, rng: np.random.Generator):
+    """(model, batched input, labels) for one training batch of ``dataset``."""
+    if framework == "pygx":
+        from repro.pygx import Batch, Data, build_model
+
+        net = build_model(config, rng)
+        inputs = Batch.from_data_list(
+            [Data.from_sample(g) for g in dataset.graphs[:batch_size]]
+        )
+        labels = inputs.y
+    elif framework == "dglx":
+        from repro.dglx import batch as dgl_batch
+        from repro.dglx import build_model
+
+        net = build_model(config, rng)
+        samples = dataset.graphs[:batch_size]
+        inputs = dgl_batch(samples)
+        labels = np.array([g.y for g in samples])
+    else:
+        raise ValueError(f"unknown framework {framework!r}")
+    return net, inputs, labels
+
+
+# ----------------------------------------------------------------------
 # Fig. 3 (layer-wise execution time of one training batch)
 # ----------------------------------------------------------------------
 def layerwise_profile(
@@ -141,25 +167,7 @@ def layerwise_profile(
     device = Device()
     with use_device(device):
         rng = np.random.default_rng(seed)
-        if framework == "pygx":
-            from repro.pygx import Batch, Data, build_model
-
-            net = build_model(config, rng)
-            inputs = Batch.from_data_list(
-                [Data.from_sample(g) for g in dataset.graphs[:batch_size]]
-            )
-            labels = inputs.y
-        elif framework == "dglx":
-            from repro.dglx import batch as dgl_batch
-            from repro.dglx import build_model
-
-            net = build_model(config, rng)
-            samples = dataset.graphs[:batch_size]
-            inputs = dgl_batch(samples)
-            labels = np.array([g.y for g in samples])
-        else:
-            raise ValueError(f"unknown framework {framework!r}")
-
+        net, inputs, labels = _single_batch(framework, config, dataset, batch_size, rng)
         optimizer = Adam(net.parameters(), lr=config.lr)
         # Warm-up step (allocators, CSR caches), then profile one step.
         loss = cross_entropy(net(inputs), labels)
@@ -187,6 +195,119 @@ def layerwise_profile(
         step_elapsed = before.delta(device.clock).elapsed
         scopes["other"] = max(step_elapsed - sum(scopes.values()), 0.0)
         return scopes
+
+
+# ----------------------------------------------------------------------
+# repro.compile: eager vs compiled kernel streams
+# ----------------------------------------------------------------------
+def step_kernel_records(
+    framework: str,
+    model: str,
+    dataset_name: str,
+    batch_size: int = 128,
+    num_graphs: int = 0,
+    seed: int = 0,
+    compiled: bool = False,
+):
+    """Kernel records of one profiled training step, eager or compiled.
+
+    Runs one warm-up step (the capture step, when ``compiled=True``) and
+    profiles the next — the same one-batch protocol as the Fig. 3 bench.
+    """
+    dataset = load_dataset(dataset_name, num_graphs=num_graphs)
+    config = graph_config(model, in_dim=dataset.num_features, n_classes=dataset.num_classes)
+    device = Device()
+    with use_device(device):
+        rng = np.random.default_rng(seed)
+        net, inputs, labels = _single_batch(framework, config, dataset, batch_size, rng)
+        optimizer = Adam(net.parameters(), lr=config.lr)
+
+        def train_step():
+            loss = cross_entropy(net(inputs), labels)
+            optimizer.zero_grad()
+            loss.backward()
+            optimizer.step()
+            return loss
+
+        train_step()  # warm-up: allocators + framework CSR caches
+        if compiled:
+            from repro.compile import CompiledStep
+
+            step = CompiledStep(train_step)
+            step()  # capture step (runs eagerly, builds the plan)
+        else:
+            step = train_step
+        device.profiler.enabled = True
+        device.profiler.clear()
+        step()
+        device.profiler.enabled = False
+        return list(device.profiler.records)
+
+
+def compile_cell(
+    framework: str,
+    model: str,
+    dataset_name: str,
+    batch_size: int = 128,
+    num_graphs: int = 0,
+    n_epochs: int = 2,
+    seed: int = 0,
+) -> Dict:
+    """Eager-vs-compiled comparison for one (framework, model) pair.
+
+    Trains the same seeds twice — once eagerly, once through
+    ``repro.compile`` — and reports per-epoch time, per-step kernel
+    launches, and whether the loss curves match exactly (they must: replay
+    re-executes the same numpy program).
+    """
+    from repro.train import GraphClassificationTrainer
+
+    dataset = load_dataset(dataset_name, num_graphs=num_graphs)
+    eager_tr = GraphClassificationTrainer(framework, model, dataset, batch_size=batch_size)
+    eager = eager_tr.measure_epoch(n_epochs=n_epochs, seed=seed)
+    compiled_tr = GraphClassificationTrainer(
+        framework, model, dataset, batch_size=batch_size, compile=True
+    )
+    comp = compiled_tr.measure_epoch(n_epochs=n_epochs, seed=seed)
+
+    step = compiled_tr.compiled_step
+    plan = (
+        max(step.plans.values(), key=lambda p: p.eager_launches) if step.plans else None
+    )
+    eager_losses = [e.train_loss for e in eager.epochs]
+    compiled_losses = [e.train_loss for e in comp.epochs]
+    return {
+        "framework": framework,
+        "model": model,
+        "dataset": dataset_name,
+        "batch_size": batch_size,
+        "eager_epoch_time": eager.mean_epoch_time,
+        "compiled_epoch_time": comp.mean_epoch_time,
+        "speedup": eager.mean_epoch_time / comp.mean_epoch_time
+        if comp.mean_epoch_time
+        else 1.0,
+        "eager_launches_per_step": plan.eager_launches if plan else 0,
+        "compiled_launches_per_step": plan.compiled_launches if plan else 0,
+        "launch_reduction": plan.launch_reduction if plan else 0.0,
+        "captures": step.stats.captures,
+        "replays": step.stats.replays,
+        "guard_failures": step.stats.guard_failures,
+        "pass_stats": {
+            "dce_removed": plan.stats.dce_removed,
+            "cse_removed": plan.stats.cse_removed,
+            "folded": plan.stats.folded,
+            "fused_groups": plan.stats.fused_groups,
+            "fused_members": plan.stats.fused_members,
+        }
+        if plan
+        else {},
+        "eager_losses": eager_losses,
+        "compiled_losses": compiled_losses,
+        "parity": bool(
+            len(eager_losses) == len(compiled_losses)
+            and np.allclose(eager_losses, compiled_losses, rtol=1e-6, atol=0.0)
+        ),
+    }
 
 
 # ----------------------------------------------------------------------

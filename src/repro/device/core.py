@@ -35,6 +35,10 @@ class Device:
         #: Wall time (host + GPU) attributed to each active scope stack —
         #: the layer-execution-time observable of the paper's Fig. 3.
         self.scope_elapsed: dict = {}
+        #: Active graph-capture tracer (``repro.compile``), if any.
+        self._tracer = None
+        #: Active compiled-replay session (``repro.compile``), if any.
+        self._replay = None
 
     # ------------------------------------------------------------------
     # kernel and host work
@@ -46,7 +50,21 @@ class Device:
         the GPU is then busy for the roofline duration.  The serial model —
         launch, then wait — matches the low-utilisation regime the paper
         measures for GNN training.
+
+        Under compiled replay the launch is routed through the active
+        :class:`~repro.compile.plan.ReplaySession`, which charges the fused
+        schedule instead; under capture the launch additionally streams into
+        the active tracer.
         """
+        if self._replay is not None:
+            return self._replay.on_launch(self, name, flops, bytes_moved)
+        duration = self._launch_eager(name, flops, bytes_moved)
+        if self._tracer is not None:
+            self._tracer.on_launch(name, flops, bytes_moved, self.current_scope)
+        return duration
+
+    def _launch_eager(self, name: str, flops: float, bytes_moved: float) -> float:
+        """Charge one kernel launch at its eager cost."""
         self.clock.advance_host(self.spec.launch_overhead)
         duration = self.spec.kernel_time(flops, bytes_moved, kernel_efficiency(name))
         self.clock.advance_gpu(duration)
@@ -59,9 +77,45 @@ class Device:
                 flops=flops,
                 bytes_moved=bytes_moved,
                 timestamp=self.clock.elapsed,
+                memory=self.memory.current,
             )
         )
         return duration
+
+    # ------------------------------------------------------------------
+    # graph capture / compiled replay (repro.compile)
+    # ------------------------------------------------------------------
+    @property
+    def tracer(self):
+        """The active capture tracer, or ``None`` outside capture."""
+        return self._tracer
+
+    @property
+    def capturing_or_replaying(self) -> bool:
+        return self._tracer is not None or self._replay is not None
+
+    @contextmanager
+    def capturing(self, tracer) -> Iterator[None]:
+        """Stream every launch in the block into ``tracer``."""
+        if self.capturing_or_replaying:
+            raise RuntimeError("device is already capturing or replaying")
+        self._tracer = tracer
+        try:
+            yield
+        finally:
+            self._tracer = None
+
+    @contextmanager
+    def replaying(self, session) -> Iterator[None]:
+        """Route every launch in the block through a replay ``session``."""
+        if self.capturing_or_replaying:
+            raise RuntimeError("device is already capturing or replaying")
+        self._replay = session
+        try:
+            yield
+        finally:
+            self._replay = None
+            session.finish(self)
 
     def host(self, seconds: float) -> None:
         """Charge host-side (CPU) work to the clock."""

@@ -24,6 +24,9 @@ class KernelRecord:
     flops: float
     bytes_moved: float
     timestamp: float
+    #: Simulated device memory in use when the kernel retired, in bytes.
+    #: Defaults to 0.0 so records built by older call sites stay valid.
+    memory: float = 0.0
 
     def in_scope(self, prefix: Sequence[str]) -> bool:
         """True if this kernel ran under the given scope prefix."""

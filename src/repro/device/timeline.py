@@ -20,6 +20,10 @@ def to_chrome_trace(records: List[KernelRecord]) -> str:
     Timestamps/durations are microseconds, as the trace format requires.
     ``timestamp`` marks each kernel's *end* on the simulated clock, so the
     start is ``end - duration``.
+
+    Alongside the kernel track, a counter track ("Device memory") samples
+    the simulated memory in use at each kernel's retirement — the Perfetto
+    equivalent of watching ``nvidia-smi`` during the step.
     """
     events = []
     for record in records:
@@ -39,6 +43,15 @@ def to_chrome_trace(records: List[KernelRecord]) -> str:
                     "bytes": record.bytes_moved,
                     "scope": list(record.scope),
                 },
+            }
+        )
+        events.append(
+            {
+                "name": "Device memory",
+                "ph": "C",
+                "ts": end_us,
+                "pid": 0,
+                "args": {"used_mb": record.memory / 1e6},
             }
         )
     return json.dumps({"traceEvents": events, "displayTimeUnit": "ms"})

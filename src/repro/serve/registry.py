@@ -35,6 +35,32 @@ class InferenceModel:
         self.model = model.eval()
         self.config = config
         self.dataset = dataset
+        #: Compiled forward step (``repro.compile``) when enabled; serving
+        #: batches bucket by feature width, so replays dominate quickly.
+        self._compiled = None
+
+    # ------------------------------------------------------------------
+    def enable_compile(self, **kwargs) -> "InferenceModel":
+        """Capture-and-replay the forward pass through ``repro.compile``.
+
+        Keyword arguments pass through to
+        :class:`~repro.compile.CompiledStep` (passes, fusion config, ...).
+        Returns ``self`` for chaining.
+        """
+        from repro.compile import CompiledStep
+
+        self._compiled = CompiledStep(self.model, **kwargs)
+        return self
+
+    def disable_compile(self) -> "InferenceModel":
+        """Return to eager execution (drops cached plans)."""
+        self._compiled = None
+        return self
+
+    @property
+    def compiled(self):
+        """The active :class:`~repro.compile.CompiledStep`, or ``None``."""
+        return self._compiled
 
     # ------------------------------------------------------------------
     def collate(self, samples: Sequence[GraphSample]):
@@ -58,6 +84,8 @@ class InferenceModel:
         """Gradient-free forward pass under the ``forward`` phase."""
         clock = current_device().clock
         with no_grad(), clock.phase("forward"):
+            if self._compiled is not None:
+                return self._compiled(batch)
             return self.model(batch)
 
     def predict(self, samples: Sequence[GraphSample]) -> np.ndarray:

@@ -12,6 +12,7 @@ from typing import Optional, Sequence, Tuple, Union
 
 import numpy as np
 
+from repro.device import current_device
 from repro.tensor.tensor import Tensor, launch_backward, make_op, unbroadcast
 
 Axis = Union[None, int, Tuple[int, ...]]
@@ -312,6 +313,10 @@ def reshape(a: Tensor, shape: Sequence[int]) -> Tensor:
     # by reporting zero flops/bytes through a named launch would overstate
     # cost, so reshape does not launch at all.
     result = Tensor(out)
+    tracer = current_device().tracer
+    if tracer is not None:
+        # No kernel, but the dataflow edge must survive into the IR.
+        tracer.alias(result, a)
     if a.requires_grad:
         from repro.tensor.autograd import grad_enabled
 

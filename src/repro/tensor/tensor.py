@@ -74,7 +74,11 @@ class Tensor:
 
     def detach(self) -> "Tensor":
         """A view of the same data cut off from the autograd graph."""
-        return Tensor(self.data)
+        out = Tensor(self.data)
+        tracer = current_device().tracer
+        if tracer is not None:
+            tracer.alias(out, self)
+        return out
 
     def __repr__(self) -> str:
         grad_flag = ", requires_grad=True" if self.requires_grad else ""
@@ -234,7 +238,13 @@ def _coerce(value: ArrayLike) -> Tensor:
     """Wrap scalars/arrays so arithmetic accepts raw operands."""
     if isinstance(value, Tensor):
         return value
-    return Tensor(np.asarray(value, dtype=np.float32))
+    out = Tensor(np.asarray(value, dtype=np.float32))
+    tracer = current_device().tracer
+    if tracer is not None and out.size == 1:
+        # Scalar literals are constants of the step: constant folding may
+        # bake ops over them into the compiled plan.
+        tracer.mark_constant(out)
+    return out
 
 
 def _accumulate_leaf(tensor: Tensor, grad: np.ndarray) -> None:
@@ -266,12 +276,15 @@ def make_op(
     gradient (or ``None``) per parent; it is responsible for reporting its
     own kernels to the device when it runs.
     """
-    current_device().launch(name, flops=flops, bytes_moved=bytes_moved)
+    device = current_device()
+    device.launch(name, flops=flops, bytes_moved=bytes_moved)
     out = Tensor(out_data)
     if grad_enabled() and any(p.requires_grad for p in parents):
         out.requires_grad = True
         out._parents = tuple(parents)
         out._backward = backward
+    if device.tracer is not None:
+        device.tracer.annotate_op(out, parents)
     return out
 
 

@@ -53,6 +53,7 @@ class GraphClassificationTrainer:
         max_epochs: int = 1000,
         config: Optional[ModelConfig] = None,
         device: Optional[Device] = None,
+        compile: bool = False,
     ) -> None:
         if framework not in FRAMEWORKS:
             raise ValueError(f"unknown framework {framework!r}; options: {FRAMEWORKS}")
@@ -65,6 +66,12 @@ class GraphClassificationTrainer:
             model_name, in_dim=dataset.num_features, n_classes=dataset.num_classes
         )
         self.device = device or Device()
+        #: Capture-and-replay the per-batch train step through
+        #: ``repro.compile`` (fewer kernel launches, fused schedule).
+        self.compile = compile
+        #: The :class:`~repro.compile.CompiledStep` of the most recent
+        #: :meth:`run_fold` call when ``compile=True`` (for its stats).
+        self.compiled_step = None
         #: The trained network from the most recent :meth:`run_fold` call —
         #: the parameters "at the end of training" that Section IV-B.2
         #: evaluates, and what gets checkpointed for serving.
@@ -131,6 +138,25 @@ class GraphClassificationTrainer:
             clock = self.device.clock
             self.device.memory.reset_peak()
 
+            def train_step(inputs, labels):
+                with clock.phase("forward"):
+                    logits = model(inputs)
+                    loss = cross_entropy(logits, labels)
+                with clock.phase("backward"):
+                    optimizer.zero_grad()
+                    loss.backward()
+                with clock.phase("update"):
+                    optimizer.step()
+                return loss
+
+            if self.compile:
+                from repro.compile import CompiledStep
+
+                step = CompiledStep(train_step)
+                self.compiled_step = step
+            else:
+                step = train_step
+
             records: List[EpochRecord] = []
             start = clock.snapshot()
             for epoch in range(self.max_epochs):
@@ -138,14 +164,7 @@ class GraphClassificationTrainer:
                 before = clock.snapshot()
                 epoch_losses = []
                 for inputs, labels in self._iterate(train_loader):
-                    with clock.phase("forward"):
-                        logits = model(inputs)
-                        loss = cross_entropy(logits, labels)
-                    with clock.phase("backward"):
-                        optimizer.zero_grad()
-                        loss.backward()
-                    with clock.phase("update"):
-                        optimizer.step()
+                    loss = step(inputs, labels)
                     epoch_losses.append(loss.item())
                 train_delta = before.delta(clock)
 

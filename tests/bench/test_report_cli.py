@@ -119,9 +119,61 @@ class TestReportCLI:
         assert code == 0
         assert token in capsys.readouterr().out
 
+    def test_compile_experiment_writes_json(self, capsys, tmp_path, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        json_path = tmp_path / "BENCH_compile.json"
+        code = main(
+            [
+                "compile",
+                "--models",
+                "gcn",
+                "--frameworks",
+                "pygx",
+                "--num-graphs",
+                "48",
+                "--batch-size",
+                "32",
+                "--json",
+                str(json_path),
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "repro.compile" in out
+        assert "exact" in out
+        data = json.loads(json_path.read_text())
+        cell = data["cells"][0]
+        assert cell["parity"] is True
+        assert cell["eager_launches_per_step"] > cell["compiled_launches_per_step"]
+        assert cell["launch_reduction"] > 0
+
+    def test_compile_default_output_name(self, capsys, tmp_path, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        code = main(
+            ["compile", "--models", "gcn", "--frameworks", "dglx",
+             "--num-graphs", "32", "--batch-size", "16"]
+        )
+        assert code == 0
+        assert (tmp_path / "BENCH_compile.json").exists()
+
+    @pytest.mark.parametrize("extra", [[], ["--compiled"]])
+    def test_kernels_top_table(self, capsys, extra):
+        code = main(
+            ["kernels", "--models", "gcn", "--frameworks", "pygx",
+             "--num-graphs", "32", "--batch-size", "16", "--top", "5"] + extra
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Top kernels" in out
+        assert "launches" in out
+        if extra:
+            assert "fused[" in out
+
     def test_unknown_experiment_rejected(self):
         with pytest.raises(SystemExit):
             main(["fig9"])
 
     def test_experiment_registry(self):
-        assert set(EXPERIMENTS) >= {"table1", "table4", "table5", "fig1", "fig2", "fig3", "fig4", "fig5", "fig6"}
+        assert set(EXPERIMENTS) >= {"table1", "table4", "table5", "fig1", "fig2",
+                                    "fig3", "fig4", "fig5", "fig6", "serve",
+                                    "compile", "kernels"}

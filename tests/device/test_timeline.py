@@ -19,14 +19,22 @@ def profiled_device():
     return device
 
 
+def _kernel_events(trace):
+    return [e for e in trace["traceEvents"] if e["ph"] == "X"]
+
+
+def _counter_events(trace):
+    return [e for e in trace["traceEvents"] if e["ph"] == "C"]
+
+
 class TestChromeTrace:
     def test_event_per_kernel(self, profiled_device):
         trace = json.loads(to_chrome_trace(profiled_device.profiler.records))
-        assert len(trace["traceEvents"]) == 2
+        assert len(_kernel_events(trace)) == 2
 
     def test_event_fields(self, profiled_device):
         trace = json.loads(to_chrome_trace(profiled_device.profiler.records))
-        event = trace["traceEvents"][0]
+        event = _kernel_events(trace)[0]
         assert event["name"] == "matmul"
         assert event["ph"] == "X"
         assert event["cat"] == "net/conv1"
@@ -36,7 +44,7 @@ class TestChromeTrace:
 
     def test_events_ordered_and_non_overlapping(self, profiled_device):
         trace = json.loads(to_chrome_trace(profiled_device.profiler.records))
-        a, b = trace["traceEvents"]
+        a, b = _kernel_events(trace)
         assert a["ts"] + a["dur"] <= b["ts"] + 1e-6
 
     def test_write_to_file(self, profiled_device, tmp_path):
@@ -48,3 +56,29 @@ class TestChromeTrace:
     def test_empty_records(self):
         trace = json.loads(to_chrome_trace([]))
         assert trace["traceEvents"] == []
+
+
+class TestMemoryCounterTrack:
+    def test_counter_event_per_kernel(self, profiled_device):
+        trace = json.loads(to_chrome_trace(profiled_device.profiler.records))
+        assert len(_counter_events(trace)) == 2
+
+    def test_counter_named_and_sampled_at_kernel_end(self, profiled_device):
+        trace = json.loads(to_chrome_trace(profiled_device.profiler.records))
+        kernels = _kernel_events(trace)
+        counters = _counter_events(trace)
+        for kernel, counter in zip(kernels, counters):
+            assert counter["name"] == "Device memory"
+            assert counter["ts"] == pytest.approx(kernel["ts"] + kernel["dur"])
+
+    def test_counter_reports_tracked_memory(self):
+        import numpy as np
+
+        device = Device()
+        device.profiler.enabled = True
+        buf = np.zeros(1000, dtype=np.float32)
+        device.track(buf)
+        device.launch("matmul", flops=1e6, bytes_moved=1e4)
+        trace = json.loads(to_chrome_trace(device.profiler.records))
+        counter = _counter_events(trace)[0]
+        assert counter["args"]["used_mb"] == pytest.approx(buf.nbytes / 1e6)

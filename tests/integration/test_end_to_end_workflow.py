@@ -90,4 +90,8 @@ class TestProfilerWorkflow:
         assert len(stats) > 5
         assert any("gather" in s.name for s in stats)
         trace = json.loads(to_chrome_trace(device.profiler.records))
-        assert len(trace["traceEvents"]) == len(device.profiler.records)
+        kernels = [e for e in trace["traceEvents"] if e.get("ph") != "C"]
+        counters = [e for e in trace["traceEvents"] if e.get("ph") == "C"]
+        assert len(kernels) == len(device.profiler.records)
+        # one "Device memory" counter sample rides along with every kernel
+        assert len(counters) == len(device.profiler.records)
