@@ -10,6 +10,7 @@ Regenerates any of the paper's experiments from a shell, without pytest::
     python -m repro.bench.report serve --requests 500 --rate 1500 --json serving.json
     python -m repro.bench.report compile --models gcn gin --json BENCH_compile.json
     python -m repro.bench.report kernels --models gcn --compiled --top 12
+    python -m repro.bench.report faults --fault-rates 0 0.002 0.01 --json BENCH_faults.json
 
 Every subcommand prints the paper-style table (and, where it helps, an
 ASCII chart); ``--json``/``--csv`` write machine-readable copies.
@@ -22,11 +23,14 @@ import sys
 from typing import List, Optional
 
 from repro.bench import (
+    FAULTS_COLUMNS,
     PHASE_ORDER,
     SERVING_COLUMNS,
     breakdown_row,
     breakdown_sweep,
     compile_cell,
+    faults_cell,
+    faults_row,
     format_seconds,
     format_table,
     layerwise_profile,
@@ -48,7 +52,7 @@ from repro.models import MODEL_NAMES
 
 EXPERIMENTS = (
     "table1", "table4", "table5", "fig1", "fig2", "fig3", "fig4", "fig5", "fig6",
-    "serve", "compile", "kernels",
+    "serve", "compile", "kernels", "faults",
 )
 
 
@@ -77,6 +81,13 @@ def _parser() -> argparse.ArgumentParser:
     parser.add_argument("--top", type=int, default=15, help="kernels: rows to show")
     parser.add_argument(
         "--batch-size", type=int, default=128, help="compile/kernels: one-batch size"
+    )
+    parser.add_argument(
+        "--fault-rates", nargs="+", type=float, default=[0.0, 0.002, 0.01],
+        help="faults: per-event OOM/kernel-fault probabilities to sweep",
+    )
+    parser.add_argument(
+        "--fault-seed", type=int, default=0, help="faults: FaultPlan seed"
     )
     return parser
 
@@ -311,6 +322,48 @@ def _run_compile(args) -> int:
     return 0
 
 
+def _run_faults(args) -> None:
+    """Goodput / retries / p99 as scheduled fault rates sweep upward."""
+    import json
+
+    from repro.serve import poisson_trace
+
+    cells = []
+    rows = []
+    for dataset in args.datasets or ["enzymes"]:
+        for model in args.models if args.models != list(MODEL_NAMES) else ["gcn"]:
+            for framework in args.frameworks:
+                trace = poisson_trace(args.requests, rate=args.rate, rng=0)
+                for rate in args.fault_rates:
+                    cell = faults_cell(
+                        framework,
+                        model,
+                        dataset,
+                        tuple(trace),
+                        fault_rate=rate,
+                        fault_seed=args.fault_seed,
+                        max_batch_size=args.max_batch_size,
+                        queue_capacity=args.queue_capacity,
+                        num_graphs=args.num_graphs,
+                    )
+                    cells.append(cell)
+                    rows.append(faults_row(cell))
+    print(
+        format_table(
+            FAULTS_COLUMNS,
+            rows,
+            title=(
+                f"repro.faults: {args.requests}-request Poisson trace @ "
+                f"{args.rate:.0f}/s under injected faults (seed {args.fault_seed})"
+            ),
+        )
+    )
+    path = args.json or "BENCH_faults.json"
+    with open(path, "w") as fh:
+        json.dump({"experiment": "faults", "cells": cells}, fh, indent=2)
+    print(f"wrote {path}")
+
+
 def _run_kernels(args) -> None:
     """Top-kernel table over one profiled training step (satellite of Fig. 3)."""
     from repro.device import kernel_stats
@@ -375,6 +428,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _run_compile(args)
     elif args.experiment == "kernels":
         _run_kernels(args)
+    elif args.experiment == "faults":
+        _run_faults(args)
     return 0
 
 

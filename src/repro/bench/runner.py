@@ -392,6 +392,107 @@ SERVING_COLUMNS = [
 
 
 # ----------------------------------------------------------------------
+# Fault injection (repro.faults): goodput/latency under scheduled faults
+# ----------------------------------------------------------------------
+def faults_cell(
+    framework: str,
+    model: str,
+    dataset_name: str,
+    arrivals: Sequence[float],
+    fault_rate: float = 0.0,
+    fault_seed: int = 0,
+    stall_rate: Optional[float] = None,
+    max_batch_size: int = 32,
+    queue_capacity: int = 128,
+    num_graphs: int = 0,
+    train_epochs: int = 2,
+    seed: int = 0,
+) -> Dict:
+    """One serving run under a seeded fault schedule.
+
+    ``fault_rate`` is applied as both the per-alloc OOM probability and
+    the per-launch transient-kernel-fault probability; ``stall_rate``
+    defaults to the same value.  ``fault_rate=0`` is the fault-free
+    baseline the sweep is compared against.
+    """
+    from repro.faults import FaultPlan
+
+    inference = trained_inference_model(
+        framework, model, dataset_name, num_graphs, train_epochs, seed
+    )
+    plan = None
+    if fault_rate or stall_rate:
+        plan = FaultPlan(
+            seed=fault_seed,
+            oom_rate=fault_rate,
+            kernel_fault_rate=fault_rate,
+            stall_rate=fault_rate if stall_rate is None else stall_rate,
+        )
+    simulator = ServeSimulator(
+        inference,
+        DynamicBatcher(max_batch_size=max_batch_size, max_nodes=4096),
+        queue_capacity=queue_capacity,
+        fault_plan=plan,
+    )
+    dataset = load_dataset(dataset_name, num_graphs=num_graphs)
+    result = simulator.replay(dataset.graphs, arrivals)
+    return {
+        "framework": framework,
+        "model": model,
+        "dataset": dataset_name,
+        "fault_rate": fault_rate,
+        "fault_seed": fault_seed,
+        "n_requests": result.n_requests,
+        "completed": result.completed,
+        "shed": result.shed,
+        "failed": result.failed,
+        "resolved": result.resolved,
+        "shed_by_reason": dict(result.shed_by_reason),
+        "failed_by_reason": dict(result.failed_by_reason),
+        "retries": result.retries,
+        "batch_splits": result.batch_splits,
+        "circuit_opens": result.circuit_opens,
+        "goodput": result.goodput,
+        "p50": result.p50,
+        "p99": result.p99,
+        "mean_batch_size": result.mean_batch_size,
+        "elapsed": result.elapsed,
+    }
+
+
+FAULTS_COLUMNS = [
+    "rate",
+    "model",
+    "fw",
+    "done",
+    "shed",
+    "failed",
+    "retries",
+    "splits",
+    "opens",
+    "goodput",
+    "p99(ms)",
+]
+
+
+def faults_row(cell: Dict) -> List[str]:
+    """Human-readable table row for one fault-sweep cell."""
+    return [
+        f"{cell['fault_rate']:.3f}",
+        cell["model"],
+        cell["framework"],
+        str(cell["completed"]),
+        str(cell["shed"]),
+        str(cell["failed"]),
+        str(cell["retries"]),
+        str(cell["batch_splits"]),
+        str(cell["circuit_opens"]),
+        f"{cell['goodput']:.0f}",
+        f"{cell['p99'] * 1e3:.2f}",
+    ]
+
+
+# ----------------------------------------------------------------------
 # Fig. 6 (multi-GPU)
 # ----------------------------------------------------------------------
 def multigpu_series(

@@ -109,6 +109,11 @@ def serving_to_dict(result: ServingResult) -> Dict:
         "gpu_utilization": result.gpu_utilization,
         "busy_fraction": result.busy_fraction,
         "phase_times": dict(result.phase_times),
+        "failed": result.failed,
+        "failed_by_reason": dict(result.failed_by_reason),
+        "retries": result.retries,
+        "batch_splits": result.batch_splits,
+        "circuit_opens": result.circuit_opens,
     }
 
 
@@ -137,6 +142,11 @@ def serving_from_dict(data: Dict) -> ServingResult:
         gpu_utilization=data["gpu_utilization"],
         busy_fraction=data["busy_fraction"],
         phase_times=dict(data.get("phase_times", {})),
+        failed=data.get("failed", 0),
+        failed_by_reason=dict(data.get("failed_by_reason", {})),
+        retries=data.get("retries", 0),
+        batch_splits=data.get("batch_splits", 0),
+        circuit_opens=data.get("circuit_opens", 0),
     )
 
 

@@ -39,6 +39,8 @@ class Device:
         self._tracer = None
         #: Active compiled-replay session (``repro.compile``), if any.
         self._replay = None
+        #: Active fault injector (``repro.faults``), if any.
+        self._faults = None
 
     # ------------------------------------------------------------------
     # kernel and host work
@@ -55,7 +57,15 @@ class Device:
         :class:`~repro.compile.plan.ReplaySession`, which charges the fused
         schedule instead; under capture the launch additionally streams into
         the active tracer.
+
+        With a fault injector installed (:meth:`injecting`), the injector
+        is consulted *before* routing: it may charge a host stall or raise
+        a :class:`~repro.faults.KernelFault`.  The hook sits above the
+        capture/replay dispatch so eager and compiled execution see the
+        same fault-decision stream.
         """
+        if self._faults is not None:
+            self._faults.on_launch(self, name)
         if self._replay is not None:
             return self._replay.on_launch(self, name, flops, bytes_moved)
         duration = self._launch_eager(name, flops, bytes_moved)
@@ -116,6 +126,35 @@ class Device:
         finally:
             self._replay = None
             session.finish(self)
+
+    # ------------------------------------------------------------------
+    # fault injection (repro.faults)
+    # ------------------------------------------------------------------
+    @property
+    def faults(self):
+        """The active :class:`~repro.faults.FaultInjector`, or ``None``."""
+        return self._faults
+
+    @contextmanager
+    def injecting(self, plan) -> Iterator[object]:
+        """Inject faults from ``plan`` into every launch/alloc in the block.
+
+        ``plan`` is a :class:`~repro.faults.FaultPlan` (a fresh injector is
+        started from it) or an already-started
+        :class:`~repro.faults.FaultInjector` (so a caller can keep one
+        decision stream across several blocks, e.g. restart attempts of a
+        fault-tolerant training run).  Yields the active injector.
+        """
+        if self._faults is not None:
+            raise RuntimeError("device already has an active fault injector")
+        injector = plan.start() if hasattr(plan, "start") else plan
+        self._faults = injector
+        self.memory.injector = injector
+        try:
+            yield injector
+        finally:
+            self._faults = None
+            self.memory.injector = None
 
     def host(self, seconds: float) -> None:
         """Charge host-side (CPU) work to the clock."""

@@ -31,6 +31,9 @@ class MemoryPool:
         self.capacity = capacity_bytes
         self.current: int = 0
         self._peak: int = 0
+        #: Active :class:`~repro.faults.FaultInjector`, installed by
+        #: :meth:`Device.injecting`; consulted on every :meth:`alloc`.
+        self.injector = None
         # numpy arrays are unhashable, so track identities; the finalizer
         # removes the id at the same moment the bytes are freed, which makes
         # CPython id reuse safe.
@@ -41,10 +44,13 @@ class MemoryPool:
         """Reserve ``nbytes``; raises :class:`OutOfMemoryError` on overflow."""
         if nbytes < 0:
             raise ValueError("allocation size must be non-negative")
+        if self.injector is not None:
+            self.injector.on_alloc(self, nbytes)
         if self.current + nbytes > self.capacity:
             raise OutOfMemoryError(
-                f"device out of memory: requested {nbytes} bytes, "
-                f"{self.capacity - self.current} free of {self.capacity}"
+                f"device out of memory: requested {nbytes} bytes "
+                f"with {self.current} in use of {self.capacity} capacity "
+                f"({self.capacity - self.current} free)"
             )
         self.current += nbytes
         if self.current > self._peak:

@@ -1,0 +1,22 @@
+"""Deterministic fault injection for the simulated device stack.
+
+The ROADMAP's production system lives where device OOMs, transient kernel
+failures and host stalls are routine; this package makes those events
+*schedulable*: a seeded :class:`FaultPlan` hooks into
+:meth:`Device.launch` and :meth:`MemoryPool.alloc`, and the same seed
+reproduces the same fault sequence every run.  The degradation machinery
+it exercises lives next to the code it protects — retry/backoff, circuit
+breaking and OOM batch splitting in :mod:`repro.serve`, checkpoint/resume
+in :mod:`repro.train`.
+"""
+
+from repro.faults.errors import FaultError, KernelFault
+from repro.faults.plan import FaultInjector, FaultPlan, FaultStats
+
+__all__ = [
+    "FaultError",
+    "KernelFault",
+    "FaultPlan",
+    "FaultInjector",
+    "FaultStats",
+]

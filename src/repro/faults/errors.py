@@ -1,0 +1,30 @@
+"""Typed errors raised by injected faults.
+
+Injected out-of-memory conditions reuse
+:class:`repro.device.memory.OutOfMemoryError` on purpose: degradation code
+(batch splitting, checkpoint/resume) must treat a synthetic OOM exactly
+like a real capacity overflow, so they share a type.  Transient kernel
+failures get their own type because the correct reaction differs — retry
+the same work rather than shrink it.
+"""
+
+from __future__ import annotations
+
+
+class FaultError(RuntimeError):
+    """Base class for failures originating from a :class:`FaultPlan`."""
+
+
+class KernelFault(FaultError):
+    """A transient kernel-launch failure (the CUDA ``launch failed`` class).
+
+    Retryable: the same launch is expected to succeed on a later attempt,
+    which is what distinguishes it from an :class:`OutOfMemoryError`.
+    """
+
+    def __init__(self, kernel: str, index: int) -> None:
+        super().__init__(
+            f"injected transient fault in kernel {kernel!r} (launch #{index})"
+        )
+        self.kernel = kernel
+        self.index = index

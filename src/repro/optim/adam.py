@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from typing import Iterable
+from typing import Dict, Iterable
 
 import numpy as np
 
@@ -62,3 +62,20 @@ class Adam(Optimizer):
             m_hat = m / bias1
             v_hat = v / bias2
             p.data -= self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
+
+    # ------------------------------------------------------------------
+    def state_dict(self) -> Dict[str, np.ndarray]:
+        state = super().state_dict()
+        state["t"] = np.int64(self.t)
+        for i, (m, v) in enumerate(zip(self._m, self._v)):
+            state[f"m/{i}"] = m
+            state[f"v/{i}"] = v
+        return state
+
+    def _load_state(self, state: Dict[str, np.ndarray]) -> None:
+        self.t = int(state["t"])
+        # Copy in place: the moment buffers are already tracked against
+        # device memory, so rebinding would double-count them.
+        for i, (m, v) in enumerate(zip(self._m, self._v)):
+            m[...] = state[f"m/{i}"]
+            v[...] = state[f"v/{i}"]

@@ -46,3 +46,12 @@ class ReduceLROnPlateau:
         if self.num_bad_epochs > self.patience:
             self.optimizer.lr = max(self.optimizer.lr * self.factor, self.min_lr)
             self.num_bad_epochs = 0
+
+    # ------------------------------------------------------------------
+    def state_dict(self) -> dict:
+        """The schedule's mutable state (the LR itself lives on the optimizer)."""
+        return {"best": self.best, "num_bad_epochs": self.num_bad_epochs}
+
+    def load_state_dict(self, state: dict) -> None:
+        self.best = float(state["best"])
+        self.num_bad_epochs = int(state["num_bad_epochs"])

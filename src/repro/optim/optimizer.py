@@ -2,7 +2,9 @@
 
 from __future__ import annotations
 
-from typing import Iterable, List
+from typing import Dict, Iterable, List
+
+import numpy as np
 
 from repro.device import current_device
 from repro.nn.module import Parameter
@@ -30,3 +32,25 @@ class Optimizer:
 
     def _step(self) -> None:
         raise NotImplementedError
+
+    # ------------------------------------------------------------------
+    # state (checkpoint/resume support; values are numpy arrays so a state
+    # dict can ride in the same ``.npz`` archive as the model's)
+    # ------------------------------------------------------------------
+    def state_dict(self) -> Dict[str, np.ndarray]:
+        """All mutable optimizer state, keyed by stable names."""
+        return {"lr": np.float64(self.lr)}
+
+    def load_state_dict(self, state: Dict[str, np.ndarray]) -> None:
+        """Restore state produced by :meth:`state_dict` (strict keys)."""
+        expected = sorted(self.state_dict())
+        got = sorted(state)
+        if expected != got:
+            raise KeyError(
+                f"optimizer state mismatch: expected keys {expected}, got {got}"
+            )
+        self.lr = float(state["lr"])
+        self._load_state(state)
+
+    def _load_state(self, state: Dict[str, np.ndarray]) -> None:
+        """Subclass hook; base class has no extra state."""

@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from typing import Iterable
+from typing import Dict, Iterable
 
 import numpy as np
 
@@ -40,3 +40,14 @@ class SGD(Optimizer):
                 p.data -= self.lr * vel
             else:
                 p.data -= self.lr * grad
+
+    # ------------------------------------------------------------------
+    def state_dict(self) -> Dict[str, np.ndarray]:
+        state = super().state_dict()
+        for i, vel in enumerate(self._velocity):
+            state[f"velocity/{i}"] = vel
+        return state
+
+    def _load_state(self, state: Dict[str, np.ndarray]) -> None:
+        for i, vel in enumerate(self._velocity):
+            vel[...] = state[f"velocity/{i}"]

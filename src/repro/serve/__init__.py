@@ -15,6 +15,7 @@ from repro.serve.metrics import LATENCY_PERCENTILES, ServerMetrics, ServingResul
 from repro.serve.queue import AdmissionController, RequestQueue
 from repro.serve.registry import InferenceModel, ModelRegistry
 from repro.serve.request import InferenceRequest, InferenceResponse, Overloaded
+from repro.serve.resilience import CircuitBreaker, RetryPolicy
 from repro.serve.simulator import ServeSimulator, bursty_trace, poisson_trace
 
 __all__ = [
@@ -32,4 +33,6 @@ __all__ = [
     "ServeSimulator",
     "poisson_trace",
     "bursty_trace",
+    "RetryPolicy",
+    "CircuitBreaker",
 ]

@@ -50,6 +50,18 @@ class DynamicBatcher:
             return False
         return True
 
+    @staticmethod
+    def split(batch: List[InferenceRequest]) -> Tuple[List[InferenceRequest], List[InferenceRequest]]:
+        """Halve a batch that proved too big to serve (OOM degradation).
+
+        FIFO order is preserved across the two halves; the caller serves
+        the first half, then the second, instead of dropping anything.
+        """
+        if len(batch) < 2:
+            raise ValueError("cannot split a batch of fewer than two requests")
+        mid = (len(batch) + 1) // 2
+        return list(batch[:mid]), list(batch[mid:])
+
     def next_batch(
         self,
         queue: RequestQueue,

@@ -10,7 +10,7 @@ from __future__ import annotations
 
 from collections import Counter
 from dataclasses import dataclass, field
-from typing import Dict, List
+from typing import Dict, Iterable, List, Set
 
 import numpy as np
 
@@ -49,6 +49,17 @@ class ServingResult:
     busy_fraction: float
     #: Per-phase elapsed seconds (data_loading / forward / idle).
     phase_times: Dict[str, float]
+    #: Requests that ended in an explicit failure response (retries
+    #: exhausted on a kernel fault, or an unsplittable OOM) — never
+    #: silently dropped.
+    failed: int = 0
+    failed_by_reason: Dict[str, int] = field(default_factory=dict)
+    #: Dispatch retries after transient kernel faults.
+    retries: int = 0
+    #: OOM-triggered batch halvings (each split serves both halves).
+    batch_splits: int = 0
+    #: Times the circuit breaker tripped open during the run.
+    circuit_opens: int = 0
 
     @property
     def p50(self) -> float:
@@ -66,6 +77,20 @@ class ServingResult:
     def shed_fraction(self) -> float:
         return self.shed / self.n_requests if self.n_requests else 0.0
 
+    @property
+    def failed_fraction(self) -> float:
+        return self.failed / self.n_requests if self.n_requests else 0.0
+
+    @property
+    def resolved(self) -> int:
+        """Requests that got *some* explicit outcome (the lot, ideally)."""
+        return self.completed + self.shed + self.failed
+
+    @property
+    def goodput(self) -> float:
+        """Successful responses per simulated second (completed only)."""
+        return self.throughput
+
 
 @dataclass
 class ServerMetrics:
@@ -75,6 +100,13 @@ class ServerMetrics:
     batch_sizes: List[int] = field(default_factory=list)
     queue_depth_samples: List[int] = field(default_factory=list)
     shed_by_reason: Counter = field(default_factory=Counter)
+    failed_by_reason: Counter = field(default_factory=Counter)
+    retries: int = 0
+    batch_splits: int = 0
+    #: Every request id that reached an explicit outcome (completed, shed
+    #: or failed).  The no-silent-loss invariant: after a run, this equals
+    #: the full set of admitted-or-rejected request ids.
+    resolved_ids: Set[int] = field(default_factory=set)
 
     # ------------------------------------------------------------------
     # recording
@@ -82,9 +114,23 @@ class ServerMetrics:
     def record_batch(self, responses: List[InferenceResponse]) -> None:
         self.responses.extend(responses)
         self.batch_sizes.append(len(responses))
+        self.resolved_ids.update(r.request_id for r in responses)
 
-    def record_shed(self, reason: str, count: int = 1) -> None:
+    def record_shed(self, reason: str, count: int = 1, request_ids: Iterable[int] = ()) -> None:
         self.shed_by_reason[reason] += count
+        self.resolved_ids.update(request_ids)
+
+    def record_failure(self, reason: str, request_ids: Iterable[int]) -> None:
+        """An explicit failure outcome for each id (retries exhausted, OOM)."""
+        ids = list(request_ids)
+        self.failed_by_reason[reason] += len(ids)
+        self.resolved_ids.update(ids)
+
+    def record_retry(self, count: int = 1) -> None:
+        self.retries += count
+
+    def record_split(self) -> None:
+        self.batch_splits += 1
 
     def sample_queue_depth(self, depth: int) -> None:
         self.queue_depth_samples.append(depth)
@@ -99,6 +145,10 @@ class ServerMetrics:
     @property
     def shed(self) -> int:
         return sum(self.shed_by_reason.values())
+
+    @property
+    def failed(self) -> int:
+        return sum(self.failed_by_reason.values())
 
     def latencies(self) -> np.ndarray:
         return np.array([r.latency for r in self.responses], dtype=np.float64)
@@ -119,6 +169,7 @@ class ServerMetrics:
         gpu_utilization: float,
         busy_fraction: float,
         phase_times: Dict[str, float],
+        circuit_opens: int = 0,
     ) -> ServingResult:
         lat = self.latencies()
         delays = np.array([r.queue_delay for r in self.responses], dtype=np.float64)
@@ -144,4 +195,9 @@ class ServerMetrics:
             gpu_utilization=gpu_utilization,
             busy_fraction=busy_fraction,
             phase_times=dict(phase_times),
+            failed=self.failed,
+            failed_by_reason=dict(self.failed_by_reason),
+            retries=self.retries,
+            batch_splits=self.batch_splits,
+            circuit_opens=circuit_opens,
         )

@@ -7,15 +7,23 @@ work (collation + forward) advances the simulated clock exactly as training
 does; quiet periods fast-forward via :meth:`SimClock.advance_idle`, so
 throughput, latency and utilisation all come out of the same clock that
 produces the paper's Figs. 1-2 breakdowns.
+
+The dispatch path degrades gracefully under faults (injected via a
+``repro.faults`` :class:`FaultPlan`, or anything that raises the same
+errors): transient kernel faults retry with exponential backoff, OOM
+batches split in half and retry, and repeated failures trip a circuit
+breaker.  Every admitted request ends in exactly one of *response*,
+*shed* or *explicit failure* — nothing is silently lost.
 """
 
 from __future__ import annotations
 
+from contextlib import nullcontext
 from typing import List, Optional, Sequence
 
 import numpy as np
 
-from repro.device import Device, use_device
+from repro.device import Device, OutOfMemoryError, use_device
 from repro.graph import GraphSample, as_generator
 from repro.graph.graph import RngLike
 from repro.serve.batcher import DynamicBatcher
@@ -23,6 +31,7 @@ from repro.serve.metrics import ServerMetrics, ServingResult
 from repro.serve.queue import AdmissionController, RequestQueue
 from repro.serve.registry import InferenceModel
 from repro.serve.request import InferenceRequest, InferenceResponse, Overloaded
+from repro.serve.resilience import CircuitBreaker, RetryPolicy
 
 
 # ----------------------------------------------------------------------
@@ -80,6 +89,9 @@ class ServeSimulator:
         queue_capacity: int = 256,
         deadline: Optional[float] = None,
         device: Optional[Device] = None,
+        retry_policy: Optional[RetryPolicy] = None,
+        breaker: Optional[CircuitBreaker] = None,
+        fault_plan=None,
     ) -> None:
         self.inference = inference
         self.batcher = batcher or DynamicBatcher()
@@ -88,6 +100,11 @@ class ServeSimulator:
         self.queue_capacity = queue_capacity
         self.deadline = deadline
         self.device = device or Device()
+        self.retry_policy = retry_policy or RetryPolicy()
+        self.breaker = breaker or CircuitBreaker()
+        #: Optional :class:`~repro.faults.FaultPlan` injected for the whole
+        #: replay (seeded — the same plan reproduces the same run exactly).
+        self.fault_plan = fault_plan
 
     def replay(
         self, samples: Sequence[GraphSample], arrival_times: Sequence[float]
@@ -111,7 +128,12 @@ class ServeSimulator:
             for i, t in enumerate(arrivals)
         ]
 
-        with use_device(self.device):
+        injecting = (
+            self.device.injecting(self.fault_plan)
+            if self.fault_plan is not None
+            else nullcontext()
+        )
+        with use_device(self.device), injecting:
             clock = self.device.clock
             queue = RequestQueue(self.queue_capacity)
             admission = AdmissionController(queue, default_deadline=self.deadline)
@@ -127,7 +149,9 @@ class ServeSimulator:
                     try:
                         admission.admit(requests[i], now)
                     except Overloaded as rejection:
-                        metrics.record_shed(rejection.reason)
+                        metrics.record_shed(
+                            rejection.reason, request_ids=[requests[i].request_id]
+                        )
                     i += 1
                 metrics.sample_queue_depth(len(queue))
                 if len(queue) == 0:
@@ -139,27 +163,19 @@ class ServeSimulator:
                     continue
                 batch, expired = self.batcher.next_batch(queue, admission, now)
                 if expired:
-                    metrics.record_shed("deadline", len(expired))
+                    metrics.record_shed(
+                        "deadline", len(expired), request_ids=[r.request_id for r in expired]
+                    )
                 if not batch:
                     continue
-                dispatch = clock.elapsed - t0
-                collated = self.inference.collate([r.sample for r in batch])
-                logits = self.inference.forward(collated)
-                completion = clock.elapsed - t0
-                predictions = np.argmax(logits.data, axis=1)
-                metrics.record_batch(
-                    [
-                        InferenceResponse(
-                            request_id=r.request_id,
-                            prediction=int(p),
-                            arrival_time=r.arrival_time,
-                            dispatch_time=dispatch,
-                            completion_time=completion,
-                            batch_size=len(batch),
-                        )
-                        for r, p in zip(batch, predictions)
-                    ]
-                )
+                if not self.breaker.allow(clock.elapsed - t0):
+                    # Open circuit: fail fast at the dispatch point instead
+                    # of hammering a model that keeps failing.
+                    metrics.record_shed(
+                        "circuit_open", len(batch), request_ids=[r.request_id for r in batch]
+                    )
+                    continue
+                self._serve_batch(batch, metrics, clock, t0)
 
             delta = start.delta(clock)
             idle = clock.idle - idle0
@@ -173,4 +189,66 @@ class ServeSimulator:
                 gpu_utilization=delta.gpu_busy / elapsed if elapsed > 0 else 0.0,
                 busy_fraction=(elapsed - idle) / elapsed if elapsed > 0 else 0.0,
                 phase_times=delta.phase_elapsed,
+                circuit_opens=self.breaker.opens,
             )
+
+    # ------------------------------------------------------------------
+    def _serve_batch(
+        self,
+        batch: List[InferenceRequest],
+        metrics: ServerMetrics,
+        clock,
+        t0: float,
+    ) -> None:
+        """Serve one dispatched batch to an explicit outcome per request.
+
+        Transient kernel faults retry with exponential backoff; an OOM
+        splits the batch in half and serves both halves (recursively) —
+        a single over-sized request that still OOMs fails explicitly.
+        Either terminal failure counts against the circuit breaker.
+        """
+        from repro.faults import KernelFault
+
+        attempt = 0
+        while True:
+            dispatch = clock.elapsed - t0
+            try:
+                collated = self.inference.collate([r.sample for r in batch])
+                logits = self.inference.forward(collated)
+            except KernelFault:
+                if attempt < self.retry_policy.max_retries:
+                    metrics.record_retry()
+                    with clock.phase("backoff"):
+                        self.device.host(self.retry_policy.delay(attempt))
+                    attempt += 1
+                    continue
+                metrics.record_failure("kernel_fault", [r.request_id for r in batch])
+                self.breaker.record_failure(clock.elapsed - t0)
+                return
+            except OutOfMemoryError:
+                if len(batch) > 1:
+                    metrics.record_split()
+                    first, second = DynamicBatcher.split(batch)
+                    self._serve_batch(first, metrics, clock, t0)
+                    self._serve_batch(second, metrics, clock, t0)
+                    return
+                metrics.record_failure("oom", [batch[0].request_id])
+                self.breaker.record_failure(clock.elapsed - t0)
+                return
+            completion = clock.elapsed - t0
+            predictions = np.argmax(logits.data, axis=1)
+            metrics.record_batch(
+                [
+                    InferenceResponse(
+                        request_id=r.request_id,
+                        prediction=int(p),
+                        arrival_time=r.arrival_time,
+                        dispatch_time=dispatch,
+                        completion_time=completion,
+                        batch_size=len(batch),
+                    )
+                    for r, p in zip(batch, predictions)
+                ]
+            )
+            self.breaker.record_success()
+            return

@@ -1,13 +1,16 @@
 """Training harnesses reproducing the paper's experiment protocols."""
 
 from repro.train.checkpoint import (
+    RunState,
     checkpoint_name,
     checkpoint_nbytes,
     load_checkpoint,
     load_model,
+    load_run_state,
     save_checkpoint,
+    save_run_state,
 )
-from repro.train.graph_trainer import GraphClassificationTrainer
+from repro.train.graph_trainer import FaultTolerantRun, GraphClassificationTrainer
 from repro.train.multi_gpu import multi_gpu_epoch_time
 from repro.train.node_trainer import NodeClassificationTrainer
 from repro.train.results import EpochRecord, ExperimentResult, RunResult
@@ -16,6 +19,10 @@ from repro.train.stats import AccuracyComparison, compare_accuracies
 __all__ = [
     "NodeClassificationTrainer",
     "GraphClassificationTrainer",
+    "FaultTolerantRun",
+    "RunState",
+    "save_run_state",
+    "load_run_state",
     "multi_gpu_epoch_time",
     "EpochRecord",
     "ExperimentResult",

@@ -12,17 +12,20 @@ directly from the simulated clock.
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence, Tuple
+import os
+from dataclasses import dataclass
+from typing import Any, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.datasets.base import GraphClassificationDataset
 from repro.datasets.splits import kfold_splits
-from repro.device import Device, use_device
+from repro.device import Device, OutOfMemoryError, use_device
 from repro.models import ModelConfig, graph_config
 from repro.nn import accuracy, cross_entropy
 from repro.optim import Adam, ReduceLROnPlateau
 from repro.tensor import no_grad
+from repro.train.checkpoint import PathLike, load_run_state, save_run_state
 from repro.train.results import EpochRecord, ExperimentResult, RunResult
 
 FRAMEWORKS = ("pygx", "dglx")
@@ -39,6 +42,18 @@ def _build(framework: str, config: ModelConfig, rng: np.random.Generator):
 
         return build_model(config, rng)
     raise ValueError(f"unknown framework {framework!r}; options: {FRAMEWORKS}")
+
+
+@dataclass
+class FaultTolerantRun:
+    """A :meth:`run_fold_fault_tolerant` outcome: the run plus its scars."""
+
+    result: RunResult
+    #: How many times a fault aborted an epoch and training resumed from
+    #: the last checkpoint.
+    restarts: int
+    #: The :class:`~repro.faults.FaultStats` of the injector, if one ran.
+    fault_stats: Optional[Any] = None
 
 
 class GraphClassificationTrainer:
@@ -120,8 +135,18 @@ class GraphClassificationTrainer:
         val_idx: np.ndarray,
         test_idx: np.ndarray,
         seed: int = 0,
+        state_path: Optional[PathLike] = None,
+        resume: bool = False,
     ) -> RunResult:
-        """Train on one CV fold; returns per-epoch records and test acc."""
+        """Train on one CV fold; returns per-epoch records and test acc.
+
+        With ``state_path`` set, the full run state (model, optimizer,
+        LR schedule, RNG stream, per-epoch records) is checkpointed there
+        after every epoch — and once up front, so even an epoch-0 fault
+        has something to resume from.  ``resume=True`` restores that
+        snapshot (if the file exists) and continues from the next epoch,
+        reproducing the uninterrupted run bitwise.
+        """
         ds = self.dataset
         with use_device(self.device):
             rng = np.random.default_rng(seed)
@@ -137,6 +162,17 @@ class GraphClassificationTrainer:
             test_loader = self._loader(ds.subset(test_idx), shuffle=False, rng=rng)
             clock = self.device.clock
             self.device.memory.reset_peak()
+
+            start_epoch = 0
+            stopped = False
+            restored: List[EpochRecord] = []
+            if state_path is not None and resume and os.path.exists(state_path):
+                state = load_run_state(state_path, model, optimizer, scheduler, rng)
+                start_epoch = state.epoch + 1
+                stopped = state.stopped
+                restored = list(state.records)
+            elif state_path is not None:
+                save_run_state(state_path, model, optimizer, scheduler, rng, epoch=-1)
 
             def train_step(inputs, labels):
                 with clock.phase("forward"):
@@ -157,9 +193,11 @@ class GraphClassificationTrainer:
             else:
                 step = train_step
 
-            records: List[EpochRecord] = []
+            records: List[EpochRecord] = restored
             start = clock.snapshot()
-            for epoch in range(self.max_epochs):
+            # A restored ``stopped`` means the stopping rule already fired;
+            # go straight to the test evaluation.
+            for epoch in range(start_epoch, start_epoch if stopped else self.max_epochs):
                 model.train()
                 before = clock.snapshot()
                 epoch_losses = []
@@ -183,8 +221,15 @@ class GraphClassificationTrainer:
                     )
                 )
                 scheduler.step(val_loss)
-                if optimizer.lr <= self.config.min_lr:
-                    break  # the paper's stopping rule: LR decayed to 1e-6
+                # The paper's stopping rule: LR decayed to 1e-6.
+                stopped = optimizer.lr <= self.config.min_lr
+                if state_path is not None:
+                    save_run_state(
+                        state_path, model, optimizer, scheduler, rng,
+                        epoch=epoch, records=records, stopped=stopped,
+                    )
+                if stopped:
+                    break
 
             _, test_acc = self._evaluate(model, test_loader)
             self.final_model = model
@@ -196,6 +241,61 @@ class GraphClassificationTrainer:
                 gpu_utilization=clock.utilization(),
                 total_time=total,
             )
+
+    # ------------------------------------------------------------------
+    def run_fold_fault_tolerant(
+        self,
+        train_idx: np.ndarray,
+        val_idx: np.ndarray,
+        test_idx: np.ndarray,
+        seed: int = 0,
+        fault_plan=None,
+        state_path: Optional[PathLike] = None,
+        max_restarts: int = 100,
+    ) -> FaultTolerantRun:
+        """Run one fold to completion despite injected (or real) faults.
+
+        Wraps :meth:`run_fold` with checkpoint/resume: any
+        :class:`~repro.device.OutOfMemoryError` or
+        :class:`~repro.faults.FaultError` that escapes an epoch rolls the
+        run back to the last end-of-epoch snapshot at ``state_path`` and
+        retries.  Because the snapshot restores optimizer and RNG state
+        exactly, the final loss curve and test accuracy are bitwise
+        identical to a fault-free run — faults cost simulated time, never
+        numerics.
+
+        ``fault_plan`` is an optional :class:`~repro.faults.FaultPlan`;
+        one injector (one decision stream) spans all restart attempts, so
+        a deterministic fault cannot re-fire at the same point forever.
+        """
+        from repro.faults import FaultError
+
+        if state_path is None:
+            raise ValueError("run_fold_fault_tolerant needs a state_path to checkpoint to")
+        injector = fault_plan.start() if fault_plan is not None else None
+        restarts = 0
+        while True:
+            try:
+                if injector is not None:
+                    with self.device.injecting(injector):
+                        result = self.run_fold(
+                            train_idx, val_idx, test_idx, seed=seed,
+                            state_path=state_path, resume=restarts > 0,
+                        )
+                else:
+                    result = self.run_fold(
+                        train_idx, val_idx, test_idx, seed=seed,
+                        state_path=state_path, resume=restarts > 0,
+                    )
+                return FaultTolerantRun(
+                    result=result,
+                    restarts=restarts,
+                    fault_stats=injector.stats if injector is not None else None,
+                )
+            except (OutOfMemoryError, FaultError):
+                restarts += 1
+                if restarts > max_restarts:
+                    raise
 
     # ------------------------------------------------------------------
     def cross_validate(

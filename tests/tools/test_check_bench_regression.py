@@ -1,0 +1,111 @@
+"""The bench-regression gate: green on committed baselines, red on the
+synthetic 20% regression fixture, and sane on hand-built documents."""
+
+from __future__ import annotations
+
+import importlib.util
+import json
+import os
+import sys
+
+import pytest
+
+REPO_ROOT = os.path.abspath(os.path.join(os.path.dirname(__file__), "..", ".."))
+TOOL_PATH = os.path.join(REPO_ROOT, "tools", "check_bench_regression.py")
+FIXTURE_DIR = os.path.join(
+    REPO_ROOT, "tests", "fixtures", "bench_regression", "regressed"
+)
+
+
+def _load_tool():
+    spec = importlib.util.spec_from_file_location("check_bench_regression", TOOL_PATH)
+    module = importlib.util.module_from_spec(spec)
+    # dataclass field resolution looks the module up in sys.modules.
+    sys.modules[spec.name] = module
+    spec.loader.exec_module(module)
+    return module
+
+
+tool = _load_tool()
+
+
+def test_committed_baselines_pass_against_themselves(capsys):
+    rc = tool.main(["--baseline-dir", REPO_ROOT, "--current-dir", REPO_ROOT])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "within tolerance" in out
+
+
+def test_synthetic_20pct_regression_fixture_fails(capsys):
+    rc = tool.main(["--baseline-dir", REPO_ROOT, "--current-dir", FIXTURE_DIR])
+    assert rc == 1
+    out = capsys.readouterr().out
+    # Every bench kind regressed in the fixture.
+    assert "shed_fraction" in out
+    assert "compiled_launches_per_step" in out
+    assert "goodput" in out
+
+
+def test_fixture_regressions_are_20_percent():
+    """The fixture really encodes ~20% moves, comfortably past the 10% gate."""
+    baseline = json.load(open(os.path.join(REPO_ROOT, "BENCH_compile.json")))
+    regressed = json.load(open(os.path.join(FIXTURE_DIR, "BENCH_compile.json")))
+    for base, cur in zip(baseline["cells"], regressed["cells"]):
+        ratio = cur["compiled_launches_per_step"] / base["compiled_launches_per_step"]
+        assert ratio == pytest.approx(1.2, abs=0.02)
+
+
+def test_single_file_mode(tmp_path):
+    base = os.path.join(REPO_ROOT, "BENCH_compile.json")
+    assert tool.main(["--baseline", base, "--current", base]) == 0
+    bad = os.path.join(FIXTURE_DIR, "BENCH_compile.json")
+    assert tool.main(["--baseline", base, "--current", bad]) == 1
+
+
+def test_within_tolerance_changes_pass(tmp_path):
+    """A 5% drift on a gated fraction stays under the 10% gate."""
+    serving = json.load(open(os.path.join(REPO_ROOT, "BENCH_serving.json")))
+    drifted = json.loads(json.dumps(serving))
+    entry = next(e for e in drifted if e["shed"])
+    extra = int(round(0.05 * entry["completed"]))
+    entry["shed"] += extra
+    entry["completed"] -= extra
+    cur = tmp_path / "BENCH_serving.json"
+    cur.write_text(json.dumps(drifted))
+    base = os.path.join(REPO_ROOT, "BENCH_serving.json")
+    assert tool.main(["--baseline", base, "--current", str(cur)]) == 0
+
+
+def test_missing_cell_is_a_regression(tmp_path):
+    base = os.path.join(REPO_ROOT, "BENCH_compile.json")
+    doc = json.load(open(base))
+    doc["cells"] = doc["cells"][1:]
+    cur = tmp_path / "BENCH_compile.json"
+    cur.write_text(json.dumps(doc))
+    assert tool.main(["--baseline", base, "--current", str(cur)]) == 1
+
+
+def test_lost_requests_flagged_even_without_metric_drift(tmp_path):
+    """faults cells must keep the no-silent-loss invariant: resolved == n."""
+    base = os.path.join(REPO_ROOT, "BENCH_faults.json")
+    doc = json.load(open(base))
+    doc["cells"][0]["resolved"] -= 1
+    cur = tmp_path / "BENCH_faults.json"
+    cur.write_text(json.dumps(doc))
+    rc = tool.main(["--baseline", base, "--current", str(cur)])
+    assert rc == 1
+
+
+def test_parity_flip_is_exact_gated(tmp_path):
+    base = os.path.join(REPO_ROOT, "BENCH_compile.json")
+    doc = json.load(open(base))
+    assert doc["cells"][0]["parity"] is True
+    doc["cells"][0]["parity"] = False
+    cur = tmp_path / "BENCH_compile.json"
+    cur.write_text(json.dumps(doc))
+    assert tool.main(["--baseline", base, "--current", str(cur)]) == 1
+
+
+def test_usage_error_on_missing_baseline_dir(tmp_path):
+    rc = tool.main(["--baseline-dir", str(tmp_path), "--current-dir", str(tmp_path)])
+    assert rc == 2

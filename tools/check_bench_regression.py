@@ -1,0 +1,254 @@
+#!/usr/bin/env python
+"""Gate bench regressions against committed BENCH_*.json baselines.
+
+CI regenerates the smoke benches (serving, compile, faults) into a scratch
+directory and then runs this script to diff the fresh metrics against the
+baselines committed at the repo root.  Only *deterministic, scale-free*
+metrics are gated -- kernel-launch counts, shed/failure fractions, numeric
+parity -- because wall-clock style numbers (epoch times, speedups) vary with
+the host and would make the gate flaky.
+
+A metric regresses when it moves in the "worse" direction by more than
+``--tolerance`` (relative, default 10%) past a small absolute floor that
+keeps zero-valued baselines from tripping on noise.
+
+Exit status: 0 when every gated metric holds, 1 when anything regressed,
+2 on usage errors (missing files, malformed JSON).
+
+Usage::
+
+    python tools/check_bench_regression.py --baseline-dir . --current-dir out/
+    python tools/check_bench_regression.py \
+        --baseline BENCH_compile.json --current out/BENCH_compile.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+#: Bench files the directory mode looks for.
+BENCH_FILES = ("BENCH_serving.json", "BENCH_compile.json", "BENCH_faults.json")
+
+#: Gated metrics per experiment kind: (metric, direction, absolute floor).
+#: ``lower`` means a larger current value is a regression; ``higher`` the
+#: reverse; ``exact`` must match the baseline bit for bit.
+COMPILE_METRICS = (
+    ("eager_launches_per_step", "lower", 0.5),
+    ("compiled_launches_per_step", "lower", 0.5),
+    ("guard_failures", "lower", 0.5),
+    ("parity", "exact", 0.0),
+)
+SERVING_METRICS = (
+    ("shed_fraction", "lower", 0.01),
+    ("completed", "higher", 0.5),
+)
+FAULTS_METRICS = (
+    ("goodput", "higher", 1.0),
+    ("p99", "lower", 1e-4),
+    ("failed_fraction", "lower", 0.01),
+)
+
+
+@dataclass
+class Regression:
+    """One gated metric that moved the wrong way."""
+
+    label: str
+    metric: str
+    baseline: object
+    current: object
+    note: str = ""
+
+    def render(self) -> str:
+        detail = f"baseline={self.baseline} current={self.current}"
+        if self.note:
+            detail += f" ({self.note})"
+        return f"REGRESSION  {self.label}  {self.metric}: {detail}"
+
+
+def _is_worse(direction: str, baseline: float, current: float,
+              tolerance: float, floor: float) -> bool:
+    if direction == "exact":
+        return current != baseline
+    delta = current - baseline if direction == "lower" else baseline - current
+    return delta > max(tolerance * abs(baseline), floor)
+
+
+def _check_metrics(label: str, metrics: Sequence[Tuple[str, str, float]],
+                   baseline: Dict, current: Dict,
+                   tolerance: float) -> List[Regression]:
+    out: List[Regression] = []
+    for metric, direction, floor in metrics:
+        if metric not in baseline:
+            continue  # older baseline predates this metric: nothing to gate
+        if metric not in current:
+            out.append(Regression(label, metric, baseline[metric], None,
+                                  "metric missing from current run"))
+            continue
+        if _is_worse(direction, baseline[metric], current[metric],
+                     tolerance, floor):
+            out.append(Regression(label, metric, baseline[metric],
+                                  current[metric]))
+    return out
+
+
+def _serving_view(entry: Dict) -> Dict:
+    n = max(entry.get("n_requests", 0), 1)
+    return {
+        "shed_fraction": entry.get("shed", 0) / n,
+        "completed": entry.get("completed", 0),
+    }
+
+
+def _faults_view(cell: Dict) -> Dict:
+    n = max(cell.get("n_requests", 0), 1)
+    view = {"failed_fraction": cell.get("failed", 0) / n}
+    for key in ("goodput", "p99"):
+        if key in cell:
+            view[key] = cell[key]
+    return view
+
+
+def check_compile(baseline: Dict, current: Dict,
+                  tolerance: float) -> List[Regression]:
+    def by_key(doc: Dict) -> Dict[Tuple[str, str, str], Dict]:
+        return {(c["framework"], c["model"], c["dataset"]): c
+                for c in doc.get("cells", [])}
+
+    base_cells, cur_cells = by_key(baseline), by_key(current)
+    out: List[Regression] = []
+    for key, cell in sorted(base_cells.items()):
+        label = "compile[%s/%s/%s]" % key
+        if key not in cur_cells:
+            out.append(Regression(label, "cell", "present", None,
+                                  "cell missing from current run"))
+            continue
+        out.extend(_check_metrics(label, COMPILE_METRICS, cell,
+                                  cur_cells[key], tolerance))
+    return out
+
+
+def check_serving(baseline: List[Dict], current: List[Dict],
+                  tolerance: float) -> List[Regression]:
+    out: List[Regression] = []
+    for i, entry in enumerate(baseline):
+        label = "serving[%d:%s/%s/%s]" % (
+            i, entry.get("framework"), entry.get("model"), entry.get("dataset"))
+        if i >= len(current):
+            out.append(Regression(label, "entry", "present", None,
+                                  "entry missing from current run"))
+            continue
+        out.extend(_check_metrics(label, SERVING_METRICS,
+                                  _serving_view(entry),
+                                  _serving_view(current[i]), tolerance))
+    return out
+
+
+def check_faults(baseline: Dict, current: Dict,
+                 tolerance: float) -> List[Regression]:
+    def by_key(doc: Dict) -> Dict[Tuple, Dict]:
+        return {(c["framework"], c["model"], c["dataset"], c["fault_rate"]): c
+                for c in doc.get("cells", [])}
+
+    base_cells, cur_cells = by_key(baseline), by_key(current)
+    out: List[Regression] = []
+    for key, cell in sorted(base_cells.items()):
+        label = "faults[%s/%s/%s@%g]" % key
+        if key not in cur_cells:
+            out.append(Regression(label, "cell", "present", None,
+                                  "cell missing from current run"))
+            continue
+        cur = cur_cells[key]
+        out.extend(_check_metrics(label, FAULTS_METRICS, _faults_view(cell),
+                                  _faults_view(cur), tolerance))
+        if cur.get("resolved") != cur.get("n_requests"):
+            out.append(Regression(label, "resolved", cur.get("n_requests"),
+                                  cur.get("resolved"),
+                                  "requests lost without resolution"))
+    return out
+
+
+def check_file(name: str, baseline: object, current: object,
+               tolerance: float) -> List[Regression]:
+    """Dispatch on document shape: serving is a bare list, the report-CLI
+    experiments carry an ``experiment`` tag."""
+    if isinstance(baseline, list):
+        return check_serving(baseline, current, tolerance)
+    kind = baseline.get("experiment")
+    if kind == "compile":
+        return check_compile(baseline, current, tolerance)
+    if kind == "faults":
+        return check_faults(baseline, current, tolerance)
+    raise ValueError(f"{name}: unrecognised bench document (experiment={kind!r})")
+
+
+def _load(path: str) -> object:
+    with open(path) as handle:
+        return json.load(handle)
+
+
+def _pairs(args: argparse.Namespace) -> List[Tuple[str, str, str]]:
+    if args.baseline:
+        return [(os.path.basename(args.baseline), args.baseline, args.current)]
+    pairs = []
+    for name in BENCH_FILES:
+        base = os.path.join(args.baseline_dir, name)
+        cur = os.path.join(args.current_dir, name)
+        if os.path.exists(base):
+            pairs.append((name, base, cur))
+    if not pairs:
+        raise FileNotFoundError(
+            f"no BENCH_*.json baselines found in {args.baseline_dir}")
+    return pairs
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--baseline", help="single baseline JSON file")
+    parser.add_argument("--current", help="current JSON file (with --baseline)")
+    parser.add_argument("--baseline-dir", default=".",
+                        help="directory holding committed BENCH_*.json")
+    parser.add_argument("--current-dir", default=".",
+                        help="directory holding freshly generated BENCH_*.json")
+    parser.add_argument("--tolerance", type=float, default=0.10,
+                        help="relative regression tolerance (default 0.10)")
+    args = parser.parse_args(argv)
+    if bool(args.baseline) != bool(args.current):
+        parser.error("--baseline and --current must be given together")
+
+    try:
+        pairs = _pairs(args)
+    except FileNotFoundError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    regressions: List[Regression] = []
+    checked = 0
+    for name, base_path, cur_path in pairs:
+        try:
+            baseline, current = _load(base_path), _load(cur_path)
+            found = check_file(name, baseline, current, args.tolerance)
+        except (OSError, ValueError, KeyError) as exc:
+            print(f"error: {name}: {exc}", file=sys.stderr)
+            return 2
+        checked += 1
+        status = "FAIL" if found else "ok"
+        print(f"{name}: {status} ({len(found)} regression(s), "
+              f"tolerance {args.tolerance:.0%})")
+        regressions.extend(found)
+
+    for reg in regressions:
+        print(reg.render())
+    if regressions:
+        return 1
+    print(f"all {checked} bench file(s) within tolerance")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
