@@ -11,6 +11,7 @@ Regenerates any of the paper's experiments from a shell, without pytest::
     python -m repro.bench.report compile --models gcn gin --json BENCH_compile.json
     python -m repro.bench.report kernels --models gcn --compiled --top 12
     python -m repro.bench.report faults --fault-rates 0 0.002 0.01 --json BENCH_faults.json
+    python -m repro.bench.report overlap --models gcn gin --json BENCH_overlap.json
 
 Every subcommand prints the paper-style table (and, where it helps, an
 ASCII chart); ``--json``/``--csv`` write machine-readable copies.
@@ -24,6 +25,7 @@ from typing import List, Optional
 
 from repro.bench import (
     FAULTS_COLUMNS,
+    OVERLAP_COLUMNS,
     PHASE_ORDER,
     SERVING_COLUMNS,
     breakdown_row,
@@ -35,6 +37,8 @@ from repro.bench import (
     format_table,
     layerwise_profile,
     multigpu_series,
+    overlap_cell,
+    overlap_row,
     serving_cell,
     serving_row,
     step_kernel_records,
@@ -52,7 +56,7 @@ from repro.models import MODEL_NAMES
 
 EXPERIMENTS = (
     "table1", "table4", "table5", "fig1", "fig2", "fig3", "fig4", "fig5", "fig6",
-    "serve", "compile", "kernels", "faults",
+    "serve", "compile", "kernels", "faults", "overlap",
 )
 
 
@@ -322,6 +326,46 @@ def _run_compile(args) -> int:
     return 0
 
 
+def _run_overlap(args) -> int:
+    """Executed prefetch pipelining vs the analytic overlap projection."""
+    import json
+
+    cells = []
+    for dataset in args.datasets or ["enzymes"]:
+        for model in args.models if args.models != list(MODEL_NAMES) else ["gcn", "gin"]:
+            for framework in args.frameworks:
+                for compiled in (False, True):
+                    cells.append(
+                        overlap_cell(
+                            framework,
+                            model,
+                            dataset,
+                            batch_size=args.batch_size if args.batch_size != 128 else 16,
+                            num_graphs=args.num_graphs,
+                            n_epochs=2,
+                            compiled=compiled,
+                        )
+                    )
+    print(
+        format_table(
+            OVERLAP_COLUMNS,
+            [overlap_row(c) for c in cells],
+            title="Streams + prefetch: executed overlap vs Section IV-D projection",
+        )
+    )
+    path = args.json or "BENCH_overlap.json"
+    with open(path, "w") as fh:
+        json.dump({"experiment": "overlap", "cells": cells}, fh, indent=2)
+    print(f"wrote {path}")
+    if not all(c["parity"] for c in cells):
+        print("ERROR: prefetched numerics diverged from serial", file=sys.stderr)
+        return 1
+    if not all(c["within_projection"] for c in cells):
+        print("ERROR: executed overlap missed the projection bound", file=sys.stderr)
+        return 1
+    return 0
+
+
 def _run_faults(args) -> None:
     """Goodput / retries / p99 as scheduled fault rates sweep upward."""
     import json
@@ -430,6 +474,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         _run_kernels(args)
     elif args.experiment == "faults":
         _run_faults(args)
+    elif args.experiment == "overlap":
+        return _run_overlap(args)
     return 0
 
 

@@ -311,6 +311,106 @@ def compile_cell(
 
 
 # ----------------------------------------------------------------------
+# Overlap (streams + prefetch): executed pipelining vs the projection
+# ----------------------------------------------------------------------
+def overlap_cell(
+    framework: str,
+    model: str,
+    dataset_name: str,
+    batch_size: int = 16,
+    num_graphs: int = 0,
+    n_epochs: int = 2,
+    seed: int = 0,
+    compiled: bool = False,
+    tolerance: float = 0.05,
+) -> Dict:
+    """Serial vs prefetch-pipelined training for one configuration.
+
+    Runs the same timing epochs twice — serial, then with
+    ``prefetch=True`` — projects the pipelined epoch time from the serial
+    phase breakdown (:func:`~repro.bench.overlap.project_overlap`), and
+    checks that (a) the executed overlapped epoch lands within
+    ``tolerance`` of the projection and (b) losses and test accuracy are
+    bitwise identical — prefetching moves time, never numerics.
+    """
+    from repro.bench.overlap import project_overlap
+    from repro.train import GraphClassificationTrainer
+
+    dataset = load_dataset(dataset_name, num_graphs=num_graphs)
+    serial_tr = GraphClassificationTrainer(
+        framework, model, dataset, batch_size=batch_size, compile=compiled
+    )
+    serial = serial_tr.measure_epoch(n_epochs=n_epochs, seed=seed)
+    projection = project_overlap(serial)
+    overlap_tr = GraphClassificationTrainer(
+        framework, model, dataset, batch_size=batch_size,
+        compile=compiled, prefetch=True,
+    )
+    overlapped = overlap_tr.measure_epoch(n_epochs=n_epochs, seed=seed)
+
+    serial_losses = [e.train_loss for e in serial.epochs]
+    overlap_losses = [e.train_loss for e in overlapped.epochs]
+    projected = projection.overlapped_epoch
+    gap = (
+        abs(overlapped.mean_epoch_time - projected) / projected if projected else 0.0
+    )
+    return {
+        "framework": framework,
+        "model": model,
+        "dataset": dataset_name,
+        "batch_size": batch_size,
+        "compiled": compiled,
+        "serial_epoch": serial.mean_epoch_time,
+        "projected_epoch": projected,
+        "overlapped_epoch": overlapped.mean_epoch_time,
+        "speedup": (
+            serial.mean_epoch_time / overlapped.mean_epoch_time
+            if overlapped.mean_epoch_time
+            else 1.0
+        ),
+        "projection_gap": gap,
+        "within_projection": bool(gap <= tolerance),
+        "serial_utilization": serial.gpu_utilization,
+        "overlapped_utilization": overlapped.gpu_utilization,
+        "serial_losses": serial_losses,
+        "overlapped_losses": overlap_losses,
+        "parity": bool(
+            serial_losses == overlap_losses and serial.test_acc == overlapped.test_acc
+        ),
+    }
+
+
+OVERLAP_COLUMNS = [
+    "model",
+    "fw",
+    "mode",
+    "serial(ms)",
+    "projected(ms)",
+    "executed(ms)",
+    "gap",
+    "speedup",
+    "util",
+    "numerics",
+]
+
+
+def overlap_row(cell: Dict) -> List[str]:
+    """Human-readable table row for one overlap cell."""
+    return [
+        cell["model"],
+        cell["framework"],
+        "compiled" if cell["compiled"] else "eager",
+        f"{cell['serial_epoch'] * 1e3:.2f}",
+        f"{cell['projected_epoch'] * 1e3:.2f}",
+        f"{cell['overlapped_epoch'] * 1e3:.2f}",
+        f"{cell['projection_gap'] * 100:.1f}%",
+        f"{cell['speedup']:.2f}x",
+        f"{cell['serial_utilization'] * 100:.0f}->{cell['overlapped_utilization'] * 100:.0f}%",
+        "exact" if cell["parity"] else "DIVERGED",
+    ]
+
+
+# ----------------------------------------------------------------------
 # Serving (repro.serve): dynamic-batching inference under open-loop load
 # ----------------------------------------------------------------------
 @lru_cache(maxsize=None)

@@ -140,6 +140,8 @@ class _OpenGroup:
     duration: float = 0.0
     flops: float = 0.0
     bytes_moved: float = 0.0
+    #: Stream the fused kernel executes on (``None`` = default, serial).
+    stream: object = None
 
 
 class ReplaySession:
@@ -164,20 +166,29 @@ class ReplaySession:
         return self.failure is not None
 
     # ------------------------------------------------------------------
-    def on_launch(self, device, name: str, flops: float, bytes_moved: float) -> float:
-        """Account one incoming kernel launch against the plan."""
+    def on_launch(
+        self, device, name: str, flops: float, bytes_moved: float, stream=None
+    ) -> float:
+        """Account one incoming kernel launch against the plan.
+
+        ``stream`` is the (already resolved) target stream from
+        :meth:`~repro.device.Device.launch` — ``None`` means the default
+        stream's serial semantics.  Fused groups charge their members to
+        their head's stream so a compiled step launched inside a
+        ``device.on(stream)`` block overlaps exactly like its eager twin.
+        """
         if self.failed:
             self.launches_issued += 1
-            return device._launch_eager(name, flops, bytes_moved)
+            return device._launch_eager(name, flops, bytes_moved, stream)
         if self.position >= len(self.plan.nodes):
             self._fail(device, expected=None, got=name)
             self.launches_issued += 1
-            return device._launch_eager(name, flops, bytes_moved)
+            return device._launch_eager(name, flops, bytes_moved, stream)
         node = self.plan.nodes[self.position]
         if node.name != name:
             self._fail(device, expected=node.name, got=name)
             self.launches_issued += 1
-            return device._launch_eager(name, flops, bytes_moved)
+            return device._launch_eager(name, flops, bytes_moved, stream)
         self.position += 1
 
         if node.action == ACTION_SKIP:
@@ -185,27 +196,35 @@ class ReplaySession:
             return 0.0
         if node.action == ACTION_EAGER:
             self.launches_issued += 1
-            return device._launch_eager(name, flops, bytes_moved)
+            return device._launch_eager(name, flops, bytes_moved, stream)
 
         # Fused head or member.
         spec = device.spec
+        if stream is device.default_stream:
+            stream = None
         head = node.action == ACTION_FUSE_HEAD
         if head:
             self.launches_issued += 1
             device.clock.advance_host(spec.launch_overhead)
             self._open = _OpenGroup(
-                group=node.group, scope=device.current_scope
+                group=node.group, scope=device.current_scope, stream=stream
             )
         elif self._open is None or self._open.group != node.group:
             # Member without its head (should not happen with a well-formed
             # plan, but stay safe): treat as eager.
             self.launches_issued += 1
-            return device._launch_eager(name, flops, bytes_moved)
+            return device._launch_eager(name, flops, bytes_moved, stream)
+        group = self._open
         scaled_bytes = bytes_moved * node.byte_scale
         duration = spec.kernel_time(flops, scaled_bytes, kernel_efficiency(name))
-        device.clock.advance_gpu(duration)
-        device._attribute_scope(duration + (spec.launch_overhead if head else 0.0))
-        group = self._open
+        if group.stream is None:
+            device.clock.advance_gpu(duration)
+            device._attribute_scope(duration + (spec.launch_overhead if head else 0.0))
+        else:
+            group.stream.enqueue(duration)
+            device.clock.account_gpu_async(duration)
+            if head:
+                device._attribute_scope(spec.launch_overhead)
         group.duration += duration
         group.flops += flops
         group.bytes_moved += scaled_bytes
@@ -238,6 +257,10 @@ class ReplaySession:
         if group is None:
             return
         self._open = None
+        if group.stream is None:
+            timestamp, stream_id = device.clock.elapsed, 0
+        else:
+            timestamp, stream_id = group.stream.ready, group.stream.id
         device.profiler.record(
             KernelRecord(
                 name=group.name,
@@ -245,7 +268,8 @@ class ReplaySession:
                 duration=group.duration,
                 flops=group.flops,
                 bytes_moved=group.bytes_moved,
-                timestamp=device.clock.elapsed,
+                timestamp=timestamp,
                 memory=device.memory.current,
+                stream=stream_id,
             )
         )

@@ -12,6 +12,8 @@ from repro.device.host import DEFAULT_HOST_COSTS, HostCostModel
 from repro.device.kernel import KernelRecord, Profiler
 from repro.device.memory import MemoryPool, OutOfMemoryError
 from repro.device.multigpu import DataParallelPlan, charge_iteration_overhead
+from repro.device.prefetch import PrefetchLoader, prefetch_streams
+from repro.device.streams import DEFAULT_STREAM_ID, Event, Stream
 from repro.device.timeline import to_chrome_trace, write_chrome_trace
 from repro.device.trace_analysis import (
     KernelStats,
@@ -40,6 +42,11 @@ __all__ = [
     "OutOfMemoryError",
     "DataParallelPlan",
     "charge_iteration_overhead",
+    "Stream",
+    "Event",
+    "DEFAULT_STREAM_ID",
+    "PrefetchLoader",
+    "prefetch_streams",
     "to_chrome_trace",
     "write_chrome_trace",
     "KernelStats",

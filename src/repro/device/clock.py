@@ -28,6 +28,7 @@ class SimClock:
         self.elapsed: float = 0.0
         self.gpu_busy: float = 0.0
         self.idle: float = 0.0
+        self.wait: float = 0.0
         self._phase_stack: List[str] = []
         self.phase_elapsed: Dict[str, float] = {}
         self.phase_gpu_busy: Dict[str, float] = {}
@@ -70,6 +71,37 @@ class SimClock:
         if phase is not None:
             self.phase_elapsed[phase] = self.phase_elapsed.get(phase, 0.0) + seconds
             self.phase_gpu_busy[phase] = self.phase_gpu_busy.get(phase, 0.0) + seconds
+
+    def account_gpu_async(self, seconds: float) -> None:
+        """Account a kernel executing on a non-default stream.
+
+        The work is real GPU busy time (Eq. 5's numerator grows) but it does
+        *not* advance wall time — the host keeps running and only pays when
+        it synchronises with the stream (:meth:`advance_wait`).  This split
+        is what lets overlapped execution raise utilisation.
+        """
+        if seconds < 0:
+            raise ValueError(f"cannot account {seconds!r}s of GPU work")
+        self.gpu_busy += seconds
+        phase = self.current_phase
+        if phase is not None:
+            self.phase_gpu_busy[phase] = self.phase_gpu_busy.get(phase, 0.0) + seconds
+
+    def advance_wait(self, seconds: float) -> None:
+        """Advance wall time by a host-side synchronisation wait.
+
+        The host blocks until in-flight stream work (a prefetch collation,
+        an async kernel) completes.  Tracked separately from host work and
+        from idle time: a waiting host is not doing work itself, but the
+        machine is — ``busy_fraction`` therefore counts waits as busy.
+        """
+        if seconds < 0:
+            raise ValueError(f"cannot advance the clock by {seconds!r}s")
+        self.elapsed += seconds
+        self.wait += seconds
+        phase = self.current_phase
+        if phase is not None:
+            self.phase_elapsed[phase] = self.phase_elapsed.get(phase, 0.0) + seconds
 
     # ------------------------------------------------------------------
     # phases
@@ -119,6 +151,7 @@ class SimClock:
         self.elapsed = 0.0
         self.gpu_busy = 0.0
         self.idle = 0.0
+        self.wait = 0.0
         self.phase_elapsed.clear()
         self.phase_gpu_busy.clear()
 

@@ -9,13 +9,14 @@ role of the CUDA current-device context.
 from __future__ import annotations
 
 from contextlib import contextmanager
-from typing import Iterator, List, Optional, Tuple
+from typing import Dict, Iterator, List, Optional, Tuple, Union
 
 from repro.device.clock import SimClock
 from repro.device.gpu import GPUSpec, RTX_2080TI, kernel_efficiency
 from repro.device.host import DEFAULT_HOST_COSTS, HostCostModel
 from repro.device.kernel import KernelRecord, Profiler
 from repro.device.memory import MemoryPool
+from repro.device.streams import Event, Stream
 
 
 class Device:
@@ -41,17 +42,37 @@ class Device:
         self._replay = None
         #: Active fault injector (``repro.faults``), if any.
         self._faults = None
+        #: Named streams; id 0 is the default (serial) stream.
+        self.default_stream = Stream(0, "default", self.clock)
+        self._streams: Dict[str, Stream] = {"default": self.default_stream}
+        #: Stream that launches inside a :meth:`on` block run on (``None``
+        #: outside any block — the serial default-stream semantics).
+        self._current_stream: Optional[Stream] = None
+        #: Streams receiving redirected host/transfer charges inside an
+        #: :meth:`offload` block (``None`` outside).
+        self._offload: Optional[Stream] = None
+        self._offload_copy: Optional[Stream] = None
 
     # ------------------------------------------------------------------
     # kernel and host work
     # ------------------------------------------------------------------
-    def launch(self, name: str, flops: float = 0.0, bytes_moved: float = 0.0) -> float:
+    def launch(
+        self,
+        name: str,
+        flops: float = 0.0,
+        bytes_moved: float = 0.0,
+        stream: Optional[Stream] = None,
+    ) -> float:
         """Simulate one kernel launch; returns the kernel duration.
 
-        The host pays the launch overhead (driver + framework dispatch) and
-        the GPU is then busy for the roofline duration.  The serial model —
-        launch, then wait — matches the low-utilisation regime the paper
-        measures for GNN training.
+        The host pays the launch overhead (driver + framework dispatch).
+        On the default stream (``stream=None`` outside any :meth:`on`
+        block) the host then also waits out the kernel's roofline duration
+        — the serial launch-then-wait model matching the low-utilisation
+        regime the paper measures for GNN training.  On an explicit stream
+        the kernel is *enqueued* instead: the host returns after the launch
+        overhead, the stream's timeline carries the duration, and wall time
+        only meets it at a synchronisation point.
 
         Under compiled replay the launch is routed through the active
         :class:`~repro.compile.plan.ReplaySession`, which charges the fused
@@ -64,21 +85,42 @@ class Device:
         capture/replay dispatch so eager and compiled execution see the
         same fault-decision stream.
         """
+        if stream is None:
+            stream = self._current_stream
         if self._faults is not None:
             self._faults.on_launch(self, name)
         if self._replay is not None:
-            return self._replay.on_launch(self, name, flops, bytes_moved)
-        duration = self._launch_eager(name, flops, bytes_moved)
+            return self._replay.on_launch(self, name, flops, bytes_moved, stream)
+        duration = self._launch_eager(name, flops, bytes_moved, stream)
         if self._tracer is not None:
             self._tracer.on_launch(name, flops, bytes_moved, self.current_scope)
         return duration
 
-    def _launch_eager(self, name: str, flops: float, bytes_moved: float) -> float:
+    def _launch_eager(
+        self,
+        name: str,
+        flops: float,
+        bytes_moved: float,
+        stream: Optional[Stream] = None,
+    ) -> float:
         """Charge one kernel launch at its eager cost."""
         self.clock.advance_host(self.spec.launch_overhead)
         duration = self.spec.kernel_time(flops, bytes_moved, kernel_efficiency(name))
-        self.clock.advance_gpu(duration)
-        self._attribute_scope(self.spec.launch_overhead + duration)
+        if stream is None or stream is self.default_stream:
+            self.clock.advance_gpu(duration)
+            self._attribute_scope(self.spec.launch_overhead + duration)
+            timestamp = self.clock.elapsed
+            stream_id = self.default_stream.id
+            self.default_stream.busy += duration
+            self.default_stream.ready = timestamp
+        else:
+            # Async: the stream carries the duration; the host only paid
+            # the launch overhead, so only that much wall time is
+            # attributable to the enclosing scope.
+            timestamp = stream.enqueue(duration)
+            self.clock.account_gpu_async(duration)
+            self._attribute_scope(self.spec.launch_overhead)
+            stream_id = stream.id
         self.profiler.record(
             KernelRecord(
                 name=name,
@@ -86,11 +128,109 @@ class Device:
                 duration=duration,
                 flops=flops,
                 bytes_moved=bytes_moved,
-                timestamp=self.clock.elapsed,
+                timestamp=timestamp,
                 memory=self.memory.current,
+                stream=stream_id,
             )
         )
         return duration
+
+    # ------------------------------------------------------------------
+    # streams and events
+    # ------------------------------------------------------------------
+    def stream(self, name: str) -> Stream:
+        """Return the named stream, creating it on first use.
+
+        Get-or-create semantics let long-lived components (a prefetching
+        loader, a serving simulator) reattach to the same timeline across
+        epochs without threading stream handles everywhere.
+        """
+        existing = self._streams.get(name)
+        if existing is not None:
+            return existing
+        created = Stream(len(self._streams), name, self.clock)
+        self._streams[name] = created
+        return created
+
+    @property
+    def streams(self) -> List[Stream]:
+        """All streams created on this device, default stream first."""
+        return sorted(self._streams.values(), key=lambda s: s.id)
+
+    def stream_names(self) -> Dict[int, str]:
+        """Mapping of stream id to name (for the Chrome-trace tracks)."""
+        return {s.id: s.name for s in self._streams.values()}
+
+    @property
+    def current_stream(self) -> Stream:
+        """The stream launches currently target (default outside :meth:`on`)."""
+        return self._current_stream or self.default_stream
+
+    @contextmanager
+    def on(self, stream: Stream) -> Iterator[Stream]:
+        """Launch every kernel in the block asynchronously on ``stream``.
+
+        The CUDA analogue of setting the current stream: host launch
+        overhead stays serial, kernel durations land on the stream's
+        timeline, and the host meets them again at :meth:`synchronize` /
+        :meth:`wait_event`.
+        """
+        previous = self._current_stream
+        self._current_stream = None if stream is self.default_stream else stream
+        try:
+            yield stream
+        finally:
+            self._current_stream = previous
+
+    @contextmanager
+    def offload(self, stream: Stream, copy_stream: Optional[Stream] = None) -> Iterator[Stream]:
+        """Charge host work in the block to ``stream`` instead of the clock.
+
+        Models a host *worker* (a prefetching DataLoader process): the work
+        still costs what it costs, but on the worker's timeline, so the
+        main host thread keeps running.  ``copy_stream`` receives
+        :meth:`transfer` charges issued inside the block (the H2D copy of
+        a collated batch), sequenced after the producing work on
+        ``stream`` — a transfer cannot start before the buffer it copies
+        exists.  Without a ``copy_stream``, transfers stay on ``stream``.
+        """
+        if self._offload is not None:
+            raise RuntimeError("device already has an active offload stream")
+        # A worker cannot have started before the host asked it to.
+        stream.ready = max(stream.ready, self.clock.elapsed)
+        self._offload = stream
+        self._offload_copy = copy_stream or stream
+        try:
+            yield stream
+        finally:
+            self._offload = None
+            self._offload_copy = None
+
+    def record_event(self, stream: Optional[Stream] = None) -> Event:
+        """Record an event on ``stream`` (default stream if omitted)."""
+        return (stream or self.default_stream).record()
+
+    def wait_event(self, event: Event) -> None:
+        """Block the host until ``event`` completes (cudaEventSynchronize).
+
+        Advances wall time to the event's timestamp when it lies in the
+        future; free when the event already completed.
+        """
+        gap = event.timestamp - self.clock.elapsed
+        if gap > 0:
+            self.clock.advance_wait(gap)
+
+    def synchronize(self, target: Union[Stream, Event, None] = None) -> None:
+        """Block the host until ``target`` (or every stream) has drained."""
+        if isinstance(target, Event):
+            timestamp = target.timestamp
+        elif isinstance(target, Stream):
+            timestamp = target.ready
+        else:
+            timestamp = max(s.ready for s in self._streams.values())
+        gap = timestamp - self.clock.elapsed
+        if gap > 0:
+            self.clock.advance_wait(gap)
 
     # ------------------------------------------------------------------
     # graph capture / compiled replay (repro.compile)
@@ -157,7 +297,15 @@ class Device:
             self.memory.injector = None
 
     def host(self, seconds: float) -> None:
-        """Charge host-side (CPU) work to the clock."""
+        """Charge host-side (CPU) work to the clock.
+
+        Inside an :meth:`offload` block the charge lands on the worker
+        stream's timeline instead: the main host thread keeps running and
+        only meets the work again at a synchronisation point.
+        """
+        if self._offload is not None:
+            self._offload.enqueue(seconds)
+            return
         self.clock.advance_host(seconds)
         self._attribute_scope(seconds)
 
@@ -180,7 +328,16 @@ class Device:
         return total
 
     def transfer(self, nbytes: float) -> None:
-        """Charge a PCIe transfer (host<->device or peer-to-peer)."""
+        """Charge a PCIe transfer (host<->device or peer-to-peer).
+
+        Inside an :meth:`offload` block the copy is enqueued on the block's
+        copy stream, sequenced after the worker stream's pending work — the
+        double-buffered H2D pattern of a prefetching loader.
+        """
+        if self._offload is not None:
+            copy = self._offload_copy or self._offload
+            copy.enqueue(self.spec.transfer_time(nbytes), after=self._offload.ready)
+            return
         self.clock.advance_host(self.spec.transfer_time(nbytes))
 
     # ------------------------------------------------------------------
@@ -213,6 +370,9 @@ class Device:
         self.profiler.clear()
         self.memory.reset_peak()
         self.scope_elapsed.clear()
+        for stream in self._streams.values():
+            stream.ready = 0.0
+            stream.busy = 0.0
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"Device({self.spec.name!r}, elapsed={self.clock.elapsed:.6f}s)"

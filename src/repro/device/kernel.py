@@ -27,6 +27,9 @@ class KernelRecord:
     #: Simulated device memory in use when the kernel retired, in bytes.
     #: Defaults to 0.0 so records built by older call sites stay valid.
     memory: float = 0.0
+    #: Id of the stream the kernel executed on (0 = default stream), so
+    #: the Chrome trace can render one track per stream.
+    stream: int = 0
 
     def in_scope(self, prefix: Sequence[str]) -> bool:
         """True if this kernel ran under the given scope prefix."""
@@ -80,3 +83,10 @@ class Profiler:
     def time_by_scope_component(self, component: str) -> float:
         """Kernel time for records whose scope contains ``component``."""
         return sum(r.duration for r in self.records if component in r.scope)
+
+    def time_by_stream(self) -> Dict[int, float]:
+        """Aggregate kernel time by stream id (0 = default stream)."""
+        out: Dict[int, float] = {}
+        for r in self.records:
+            out[r.stream] = out.get(r.stream, 0.0) + r.duration
+        return out

@@ -9,23 +9,48 @@ named and bucketed by its innermost scope.
 from __future__ import annotations
 
 import json
-from typing import List
+from typing import Dict, List, Optional
 
 from repro.device.kernel import KernelRecord
 
 
-def to_chrome_trace(records: List[KernelRecord]) -> str:
+def to_chrome_trace(
+    records: List[KernelRecord],
+    stream_names: Optional[Dict[int, str]] = None,
+) -> str:
     """Render kernel records as a Chrome trace JSON string.
 
     Timestamps/durations are microseconds, as the trace format requires.
     ``timestamp`` marks each kernel's *end* on the simulated clock, so the
     start is ``end - duration``.
 
-    Alongside the kernel track, a counter track ("Device memory") samples
+    Each stream becomes its own track (``tid`` = stream id), so overlapped
+    prefetch/compute execution renders as parallel rows exactly like a
+    multi-stream nvprof timeline.  Pass ``stream_names`` (e.g. from
+    :meth:`~repro.device.Device.stream_names`) to label the tracks;
+    unnamed streams fall back to ``stream <id>``.
+
+    Alongside the kernel tracks, a counter track ("Device memory") samples
     the simulated memory in use at each kernel's retirement — the Perfetto
     equivalent of watching ``nvidia-smi`` during the step.
     """
     events = []
+    names = dict(stream_names or {})
+    used = {r.stream for r in records} | set(names)
+    # Label the tracks only when the trace is genuinely multi-stream (or
+    # names were given): single-stream traces keep their legacy shape.
+    if names or len(used) > 1:
+        for stream_id in sorted(used):
+            label = names.get(stream_id, f"stream {stream_id}")
+            events.append(
+                {
+                    "name": "thread_name",
+                    "ph": "M",
+                    "pid": 0,
+                    "tid": stream_id,
+                    "args": {"name": f"{label} (stream {stream_id})"},
+                }
+            )
     for record in records:
         end_us = record.timestamp * 1e6
         dur_us = record.duration * 1e6
@@ -37,7 +62,7 @@ def to_chrome_trace(records: List[KernelRecord]) -> str:
                 "ts": end_us - dur_us,
                 "dur": dur_us,
                 "pid": 0,
-                "tid": 0,
+                "tid": record.stream,
                 "args": {
                     "flops": record.flops,
                     "bytes": record.bytes_moved,
@@ -57,7 +82,11 @@ def to_chrome_trace(records: List[KernelRecord]) -> str:
     return json.dumps({"traceEvents": events, "displayTimeUnit": "ms"})
 
 
-def write_chrome_trace(records: List[KernelRecord], path) -> None:
+def write_chrome_trace(
+    records: List[KernelRecord],
+    path,
+    stream_names: Optional[Dict[int, str]] = None,
+) -> None:
     """Write the trace JSON to ``path``."""
     with open(path, "w") as fh:
-        fh.write(to_chrome_trace(records))
+        fh.write(to_chrome_trace(records, stream_names=stream_names))

@@ -16,6 +16,7 @@ from repro.dglx.heterograph import DGLGraph
 from repro.dglx.kernels import edge_softmax_fused, gsddmm_u_add_v
 from repro.dglx.loader import GraphDataLoader
 from repro.dglx.models import build_model
+from repro.dglx.prefetch import PrefetchDataLoader
 from repro.dglx.readout import max_nodes, mean_nodes, sum_nodes
 
 __all__ = [
@@ -25,6 +26,7 @@ __all__ = [
     "as_k_type_graph",
     "batch",
     "GraphDataLoader",
+    "PrefetchDataLoader",
     "function",
     "models",
     "build_model",

@@ -15,6 +15,7 @@ from repro.pygx.data import Batch, Data
 from repro.pygx.loader import DataLoader
 from repro.pygx.message_passing import MessagePassing
 from repro.pygx.models import build_model
+from repro.pygx.prefetch import PrefetchDataLoader
 from repro.pygx.pool import global_add_pool, global_max_pool, global_mean_pool
 from repro.pygx.softmax import edge_softmax
 
@@ -23,6 +24,7 @@ __all__ = [
     "Batch",
     "DataLoader",
     "CachedDataLoader",
+    "PrefetchDataLoader",
     "MessagePassing",
     "build_model",
     "models",

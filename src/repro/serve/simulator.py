@@ -92,6 +92,7 @@ class ServeSimulator:
         retry_policy: Optional[RetryPolicy] = None,
         breaker: Optional[CircuitBreaker] = None,
         fault_plan=None,
+        overlap: bool = False,
     ) -> None:
         self.inference = inference
         self.batcher = batcher or DynamicBatcher()
@@ -105,6 +106,13 @@ class ServeSimulator:
         #: Optional :class:`~repro.faults.FaultPlan` injected for the whole
         #: replay (seeded — the same plan reproduces the same run exactly).
         self.fault_plan = fault_plan
+        #: Run forwards asynchronously on a compute stream so the host can
+        #: collate batch *i+1* while batch *i*'s kernels execute.  One
+        #: batch may be in flight at a time (double buffering); completion
+        #: times come from stream events, and predictions are identical to
+        #: the serial path.
+        self.overlap = overlap
+        self._inflight = None
 
     def replay(
         self, samples: Sequence[GraphSample], arrival_times: Sequence[float]
@@ -135,6 +143,8 @@ class ServeSimulator:
         )
         with use_device(self.device), injecting:
             clock = self.device.clock
+            compute = self.device.stream("compute") if self.overlap else self.device.default_stream
+            self._inflight = None
             queue = RequestQueue(self.queue_capacity)
             admission = AdmissionController(queue, default_deadline=self.deadline)
             metrics = ServerMetrics()
@@ -157,9 +167,17 @@ class ServeSimulator:
                 if len(queue) == 0:
                     if i >= n:
                         break
-                    gap = requests[i].arrival_time - now
-                    with clock.phase("idle"):
-                        clock.advance_idle(gap)
+                    target = t0 + requests[i].arrival_time
+                    if self.overlap:
+                        # The quiet period is only idle once the compute
+                        # stream has drained; until then the machine is busy.
+                        pending = min(compute.ready, target)
+                        if pending > clock.elapsed:
+                            clock.advance_wait(pending - clock.elapsed)
+                    gap = target - clock.elapsed
+                    if gap > 0:
+                        with clock.phase("idle"):
+                            clock.advance_idle(gap)
                     continue
                 batch, expired = self.batcher.next_batch(queue, admission, now)
                 if expired:
@@ -175,8 +193,12 @@ class ServeSimulator:
                         "circuit_open", len(batch), request_ids=[r.request_id for r in batch]
                     )
                     continue
-                self._serve_batch(batch, metrics, clock, t0)
+                self._serve_batch(batch, metrics, clock, t0, compute)
 
+            if self.overlap:
+                # Drain the compute stream so elapsed covers the tail of
+                # in-flight work and utilisation stays a true ratio.
+                self.device.synchronize(compute)
             delta = start.delta(clock)
             idle = clock.idle - idle0
             elapsed = delta.elapsed
@@ -199,6 +221,7 @@ class ServeSimulator:
         metrics: ServerMetrics,
         clock,
         t0: float,
+        compute=None,
     ) -> None:
         """Serve one dispatched batch to an explicit outcome per request.
 
@@ -206,15 +229,31 @@ class ServeSimulator:
         splits the batch in half and serves both halves (recursively) —
         a single over-sized request that still OOMs fails explicitly.
         Either terminal failure counts against the circuit breaker.
+
+        With :attr:`overlap` set, collation runs on the host while the
+        *previous* batch's kernels still execute on ``compute``; the host
+        only blocks on that earlier batch's event right before launching
+        this one (one batch in flight — double buffering), and this
+        batch's completion time is read off a stream event.
         """
         from repro.faults import KernelFault
 
+        overlapped = self.overlap and compute is not None
         attempt = 0
         while True:
             dispatch = clock.elapsed - t0
             try:
                 collated = self.inference.collate([r.sample for r in batch])
-                logits = self.inference.forward(collated)
+                if overlapped:
+                    if self._inflight is not None:
+                        self.device.wait_event(self._inflight)
+                        self._inflight = None
+                    with self.device.on(compute):
+                        logits = self.inference.forward(collated)
+                    done = compute.record()
+                    self._inflight = done
+                else:
+                    logits = self.inference.forward(collated)
             except KernelFault:
                 if attempt < self.retry_policy.max_retries:
                     metrics.record_retry()
@@ -229,13 +268,13 @@ class ServeSimulator:
                 if len(batch) > 1:
                     metrics.record_split()
                     first, second = DynamicBatcher.split(batch)
-                    self._serve_batch(first, metrics, clock, t0)
-                    self._serve_batch(second, metrics, clock, t0)
+                    self._serve_batch(first, metrics, clock, t0, compute)
+                    self._serve_batch(second, metrics, clock, t0, compute)
                     return
                 metrics.record_failure("oom", [batch[0].request_id])
                 self.breaker.record_failure(clock.elapsed - t0)
                 return
-            completion = clock.elapsed - t0
+            completion = (done.timestamp if overlapped else clock.elapsed) - t0
             predictions = np.argmax(logits.data, axis=1)
             metrics.record_batch(
                 [

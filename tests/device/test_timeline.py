@@ -58,6 +58,45 @@ class TestChromeTrace:
         assert trace["traceEvents"] == []
 
 
+class TestPerStreamTracks:
+    @pytest.fixture()
+    def multi_stream_device(self):
+        device = Device()
+        device.profiler.enabled = True
+        device.launch("matmul", flops=1e9, bytes_moved=1e6)
+        with device.on(device.stream("prefetch")):
+            device.launch("collate", flops=0.0, bytes_moved=1e6)
+        return device
+
+    def test_tid_is_stream_id(self, multi_stream_device):
+        records = multi_stream_device.profiler.records
+        trace = json.loads(to_chrome_trace(records))
+        tids = {e["name"]: e["tid"] for e in _kernel_events(trace)}
+        assert tids["matmul"] == 0
+        assert tids["collate"] == multi_stream_device.stream("prefetch").id
+
+    def test_thread_name_metadata_for_multi_stream(self, multi_stream_device):
+        trace = json.loads(
+            to_chrome_trace(
+                multi_stream_device.profiler.records,
+                stream_names=multi_stream_device.stream_names(),
+            )
+        )
+        meta = {e["tid"]: e["args"]["name"]
+                for e in trace["traceEvents"] if e["ph"] == "M"}
+        assert "default" in meta[0]
+        assert "prefetch" in meta[1]
+
+    def test_single_stream_trace_has_no_metadata(self, profiled_device):
+        trace = json.loads(to_chrome_trace(profiled_device.profiler.records))
+        assert not [e for e in trace["traceEvents"] if e["ph"] == "M"]
+
+    def test_unnamed_streams_get_fallback_labels(self, multi_stream_device):
+        trace = json.loads(to_chrome_trace(multi_stream_device.profiler.records))
+        meta = [e["args"]["name"] for e in trace["traceEvents"] if e["ph"] == "M"]
+        assert any("stream 0" in name for name in meta)
+
+
 class TestMemoryCounterTrack:
     def test_counter_event_per_kernel(self, profiled_device):
         trace = json.loads(to_chrome_trace(profiled_device.profiler.records))

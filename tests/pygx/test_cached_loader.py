@@ -47,6 +47,29 @@ class TestCachedLoader:
         list(loader)
         assert loader.cached_bytes() > 0
 
+    def test_cached_bytes_sums_batch_buffers(self, graphs):
+        loader = CachedDataLoader(graphs, batch_size=8, rng=np.random.default_rng(0))
+        batches = list(loader)
+        expected = sum(b.x.nbytes + b.edge_index.nbytes for b in batches)
+        assert loader.cached_bytes() == expected
+
+    def test_cached_bytes_grows_during_fill_then_stays(self, graphs):
+        loader = CachedDataLoader(graphs, batch_size=8, rng=np.random.default_rng(0))
+        sizes = []
+        for _ in loader:
+            sizes.append(loader.cached_bytes())
+        assert sizes == sorted(sizes) and sizes[0] > 0
+        filled = loader.cached_bytes()
+        list(loader)  # replay epoch: cache unchanged
+        assert loader.cached_bytes() == filled
+
+    def test_cached_bytes_scales_with_batch_count(self, graphs):
+        small = CachedDataLoader(graphs[:8], batch_size=8, rng=np.random.default_rng(0))
+        large = CachedDataLoader(graphs, batch_size=8, rng=np.random.default_rng(0))
+        list(small)
+        list(large)
+        assert large.cached_bytes() > small.cached_bytes()
+
     def test_invalid_batch_size(self, graphs):
         with pytest.raises(ValueError):
             CachedDataLoader(graphs, batch_size=0)
@@ -75,3 +98,53 @@ class TestOverlapProjection:
         assert proj.serial_epoch == pytest.approx(1.0)
         assert proj.overlapped_epoch == pytest.approx(0.6)
         assert proj.speedup == pytest.approx(1.0 / 0.6)
+
+    @staticmethod
+    def _run(train_time, phases):
+        from repro.train.results import EpochRecord, RunResult
+
+        return RunResult(
+            test_acc=0.5,
+            epochs=[
+                EpochRecord(
+                    epoch=0,
+                    train_time=train_time,
+                    eval_time=0.0,
+                    phase_times=phases,
+                    train_loss=1.0,
+                    val_loss=1.0,
+                    val_acc=0.5,
+                )
+            ],
+        )
+
+    def test_zero_device_time_epoch_is_pure_loading(self):
+        """All loading, nothing to hide behind: overlap buys nothing."""
+        from repro.bench.overlap import project_overlap
+
+        proj = project_overlap(self._run(0.7, {"data_loading": 0.7}))
+        assert proj.overlapped_epoch == pytest.approx(0.7)
+        assert proj.speedup == pytest.approx(1.0)
+
+    def test_loading_dominated_epoch_bounded_by_loading(self):
+        from repro.bench.overlap import project_overlap
+
+        proj = project_overlap(
+            self._run(1.0, {"data_loading": 0.9, "forward": 0.1})
+        )
+        assert proj.overlapped_epoch == pytest.approx(0.9)
+        assert proj.speedup == pytest.approx(1.0 / 0.9)
+
+    def test_no_loading_epoch_unchanged(self):
+        from repro.bench.overlap import project_overlap
+
+        proj = project_overlap(self._run(1.0, {"forward": 1.0}))
+        assert proj.overlapped_epoch == pytest.approx(1.0)
+        assert proj.speedup == pytest.approx(1.0)
+
+    def test_zero_epoch_degenerate_speedup_is_one(self):
+        from repro.bench.overlap import project_overlap
+
+        proj = project_overlap(self._run(0.0, {}))
+        assert proj.overlapped_epoch == 0.0
+        assert proj.speedup == 1.0

@@ -32,7 +32,8 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
 #: Bench files the directory mode looks for.
-BENCH_FILES = ("BENCH_serving.json", "BENCH_compile.json", "BENCH_faults.json")
+BENCH_FILES = ("BENCH_serving.json", "BENCH_compile.json", "BENCH_faults.json",
+               "BENCH_overlap.json")
 
 #: Gated metrics per experiment kind: (metric, direction, absolute floor).
 #: ``lower`` means a larger current value is a regression; ``higher`` the
@@ -51,6 +52,14 @@ FAULTS_METRICS = (
     ("goodput", "higher", 1.0),
     ("p99", "lower", 1e-4),
     ("failed_fraction", "lower", 0.01),
+)
+#: Overlap cells are fully deterministic (simulated clock), so numeric
+#: parity and projection convergence gate exactly; the epoch speedup only
+#: guards against losing the overlap win outright.
+OVERLAP_METRICS = (
+    ("parity", "exact", 0.0),
+    ("within_projection", "exact", 0.0),
+    ("speedup", "higher", 0.01),
 )
 
 
@@ -133,6 +142,26 @@ def check_compile(baseline: Dict, current: Dict,
     return out
 
 
+def check_overlap(baseline: Dict, current: Dict,
+                  tolerance: float) -> List[Regression]:
+    def by_key(doc: Dict) -> Dict[Tuple[str, str, str, bool], Dict]:
+        return {(c["framework"], c["model"], c["dataset"], c["compiled"]): c
+                for c in doc.get("cells", [])}
+
+    base_cells, cur_cells = by_key(baseline), by_key(current)
+    out: List[Regression] = []
+    for key, cell in sorted(base_cells.items()):
+        label = "overlap[%s/%s/%s/%s]" % (
+            key[0], key[1], key[2], "compiled" if key[3] else "eager")
+        if key not in cur_cells:
+            out.append(Regression(label, "cell", "present", None,
+                                  "cell missing from current run"))
+            continue
+        out.extend(_check_metrics(label, OVERLAP_METRICS, cell,
+                                  cur_cells[key], tolerance))
+    return out
+
+
 def check_serving(baseline: List[Dict], current: List[Dict],
                   tolerance: float) -> List[Regression]:
     out: List[Regression] = []
@@ -184,6 +213,8 @@ def check_file(name: str, baseline: object, current: object,
         return check_compile(baseline, current, tolerance)
     if kind == "faults":
         return check_faults(baseline, current, tolerance)
+    if kind == "overlap":
+        return check_overlap(baseline, current, tolerance)
     raise ValueError(f"{name}: unrecognised bench document (experiment={kind!r})")
 
 
