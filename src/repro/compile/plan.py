@@ -271,5 +271,6 @@ class ReplaySession:
                 timestamp=timestamp,
                 memory=device.memory.current,
                 stream=stream_id,
+                phase=device.clock.current_phase or "",
             )
         )

@@ -131,6 +131,7 @@ class Device:
                 timestamp=timestamp,
                 memory=self.memory.current,
                 stream=stream_id,
+                phase=self.clock.current_phase or "",
             )
         )
         return duration

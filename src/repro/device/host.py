@@ -59,6 +59,16 @@ class HostCostModel:
     #: Host work per optimiser step outside kernels (loop over param groups).
     optimizer_step_base: float = 30e-6
 
+    #: Fixed CPU cost of one fanout neighbor-sampling call (frontier set
+    #: bookkeeping, RNG setup).  Sampling is host work — the magnifying-
+    #: glass characterisation (arXiv:2211.03021) finds it dominating
+    #: large-graph mini-batch epochs, which is why it gets its own phase.
+    sample_base: float = 60e-6
+    #: Per-seed cost of fanout sampling (degree lookup, per-hop slicing).
+    sample_per_seed: float = 0.4e-6
+    #: Per-sampled-edge cost (neighbour gather + relabelling).
+    sample_per_edge: float = 0.05e-6
+
     #: CPU-side cost of an accuracy/metric computation per evaluated sample.
     metric_per_sample: float = 0.1e-6
 

@@ -30,6 +30,12 @@ class KernelRecord:
     #: Id of the stream the kernel executed on (0 = default stream), so
     #: the Chrome trace can render one track per stream.
     stream: int = 0
+    #: Training-loop phase active at launch ("sampling", "data_loading",
+    #: "forward", ...; empty outside any phase).  Lets sampled-training
+    #: profiles attribute sampler time separately from data loading and
+    #: compute.  Defaults to "" so records built by older call sites stay
+    #: valid.
+    phase: str = ""
 
     def in_scope(self, prefix: Sequence[str]) -> bool:
         """True if this kernel ran under the given scope prefix."""
@@ -89,4 +95,17 @@ class Profiler:
         out: Dict[int, float] = {}
         for r in self.records:
             out[r.stream] = out.get(r.stream, 0.0) + r.duration
+        return out
+
+    def time_by_phase(self) -> Dict[str, float]:
+        """Aggregate kernel time by training-loop phase.
+
+        Records launched outside any clock phase land under ``"other"``.
+        Sampled-training profiles use this to separate "sampling" cost
+        from "data_loading" and the compute phases.
+        """
+        out: Dict[str, float] = {}
+        for r in self.records:
+            key = r.phase or "other"
+            out[key] = out.get(key, 0.0) + r.duration
         return out

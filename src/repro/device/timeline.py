@@ -67,6 +67,7 @@ def to_chrome_trace(
                     "flops": record.flops,
                     "bytes": record.bytes_moved,
                     "scope": list(record.scope),
+                    "phase": record.phase,
                 },
             }
         )

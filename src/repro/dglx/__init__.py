@@ -16,6 +16,7 @@ from repro.dglx.heterograph import DGLGraph
 from repro.dglx.kernels import edge_softmax_fused, gsddmm_u_add_v
 from repro.dglx.loader import GraphDataLoader
 from repro.dglx.models import build_model
+from repro.dglx.neighbor_loader import NeighborLoader
 from repro.dglx.prefetch import PrefetchDataLoader
 from repro.dglx.readout import max_nodes, mean_nodes, sum_nodes
 
@@ -27,6 +28,7 @@ __all__ = [
     "batch",
     "GraphDataLoader",
     "PrefetchDataLoader",
+    "NeighborLoader",
     "function",
     "models",
     "build_model",

@@ -31,6 +31,22 @@ class GraphConv(Module):
         # Symmetric normalisation is applied to node features on both sides
         # of the aggregation (extra elementwise kernels vs the PyG lowering).
         deg = Tensor(np.maximum(g.in_degrees(), 1).astype(np.float32).reshape(-1, 1))
+        if "true_in_deg" in g.ndata:
+            # Sampled subgraph with full-graph degrees attached: use the
+            # Horvitz-Thompson estimate of the full-graph aggregation —
+            # pre-norm by the *true* degree, then rescale the truncated sum
+            # by true/sampled so its expectation matches the full-graph
+            # layer.  Reduces exactly to the plain path when the graph is
+            # complete (true == sampled), so models trained this way serve
+            # unchanged under full-graph partitioned inference.
+            true = g.ndata["true_in_deg"]
+            h = ops.mul(h, ops.pow_scalar(true, -0.5))
+            h = self.linear(h)
+            g.ndata["h_tmp"] = h
+            g.update_all(fn.copy_u("h_tmp", "m"), fn.sum("m", "h_agg"))
+            post = ops.div(ops.pow_scalar(true, 0.5), deg)
+            out = ops.mul(g.ndata["h_agg"], post)
+            return relu(out) if self.activation else out
         norm = ops.pow_scalar(deg, -0.5)
         h = ops.mul(h, norm)
         h = self.linear(h)

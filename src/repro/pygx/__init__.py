@@ -15,6 +15,7 @@ from repro.pygx.data import Batch, Data
 from repro.pygx.loader import DataLoader
 from repro.pygx.message_passing import MessagePassing
 from repro.pygx.models import build_model
+from repro.pygx.neighbor_loader import NeighborBatch, NeighborLoader
 from repro.pygx.prefetch import PrefetchDataLoader
 from repro.pygx.pool import global_add_pool, global_max_pool, global_mean_pool
 from repro.pygx.softmax import edge_softmax
@@ -25,6 +26,8 @@ __all__ = [
     "DataLoader",
     "CachedDataLoader",
     "PrefetchDataLoader",
+    "NeighborLoader",
+    "NeighborBatch",
     "MessagePassing",
     "build_model",
     "models",

@@ -55,10 +55,19 @@ class PyGXNet(Module):
     # ------------------------------------------------------------------
     def forward(self, batch: Batch) -> Tensor:
         x = batch.x
+        # Sampled batches may carry the nodes' full-graph in-degrees so
+        # degree-normalised convs can debias fanout truncation; convs that
+        # understand them opt in via ``full_graph_norm_capable``.
+        true_deg = getattr(batch, "true_in_degrees", None)
         for name in self.conv_names:
             if self.dropout is not None:
                 x = self.dropout(x)
-            x = getattr(self, name)(x, batch.edge_index, batch.num_nodes)
+            conv = getattr(self, name)
+            if true_deg is not None and getattr(conv, "full_graph_norm_capable", False):
+                x = conv(x, batch.edge_index, batch.num_nodes,
+                         true_in_degrees=true_deg)
+            else:
+                x = conv(x, batch.edge_index, batch.num_nodes)
         if self.config.task == "node":
             return x
         with current_device().scope("pooling"):

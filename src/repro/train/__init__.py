@@ -14,11 +14,13 @@ from repro.train.graph_trainer import FaultTolerantRun, GraphClassificationTrain
 from repro.train.multi_gpu import multi_gpu_epoch_time
 from repro.train.node_trainer import NodeClassificationTrainer
 from repro.train.results import EpochRecord, ExperimentResult, RunResult
+from repro.train.sampled_trainer import SampledNodeTrainer
 from repro.train.stats import AccuracyComparison, compare_accuracies
 
 __all__ = [
     "NodeClassificationTrainer",
     "GraphClassificationTrainer",
+    "SampledNodeTrainer",
     "FaultTolerantRun",
     "RunState",
     "save_run_state",

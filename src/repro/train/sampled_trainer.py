@@ -1,0 +1,257 @@
+"""Sampled mini-batch node-classification training (large-graph regime).
+
+The GraphSAGE training protocol at scale: instead of the full-batch Table
+IV loop (whole graph resident on the device), every step trains on a
+fanout-sampled subgraph around a shuffled chunk of training seeds, so
+peak device memory is bounded by the batch's sampled support rather than
+the graph — the only way a million-node graph trains under a real memory
+cap.
+
+Wired through both framework packs' ``NeighborLoader``\\ s and composing
+with the existing execution stack: ``prefetch=True`` pipelines
+sampling+collation behind compute (the packs' ``PrefetchDataLoader``),
+``compile=True`` captures the per-batch train step through
+``repro.compile`` (sampled batches of differing node counts share one
+plan — the structural-signature bucketing).  Epochs report the
+``sampling`` phase alongside data_loading/forward/backward/update.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.device import Device, use_device
+from repro.models import ModelConfig, node_config
+from repro.nn import accuracy, cross_entropy
+from repro.optim import Adam
+from repro.scale.dataset import ScaleNodeDataset
+from repro.tensor import index_rows, no_grad
+from repro.train.results import EpochRecord, RunResult
+
+FRAMEWORKS = ("pygx", "dglx")
+PHASES = ("sampling", "data_loading", "forward", "backward", "update")
+
+
+def _build(framework: str, config: ModelConfig, rng: np.random.Generator):
+    if framework == "pygx":
+        from repro.pygx import build_model
+
+        return build_model(config, rng)
+    if framework == "dglx":
+        from repro.dglx import build_model
+
+        return build_model(config, rng)
+    raise ValueError(f"unknown framework {framework!r}; options: {FRAMEWORKS}")
+
+
+class SampledNodeTrainer:
+    """Fanout-sampled mini-batch trainer for one (framework, model) pair.
+
+    ``fanouts`` set both the sampler and the model depth
+    (``n_layers = len(fanouts)``) so every conv layer aggregates over
+    sampled support.  ``max_batches`` trims each training epoch for
+    timing-focused benches.
+    """
+
+    def __init__(
+        self,
+        framework: str,
+        model_name: str,
+        dataset: ScaleNodeDataset,
+        fanouts: Sequence[int] = (10, 10),
+        batch_size: int = 1024,
+        max_epochs: int = 5,
+        config: Optional[ModelConfig] = None,
+        device: Optional[Device] = None,
+        compile: bool = False,
+        prefetch: bool = False,
+        max_batches: Optional[int] = None,
+        eval_batch_size: Optional[int] = None,
+        ensure_self_loops: bool = False,
+        full_graph_norm: bool = False,
+    ) -> None:
+        if framework not in FRAMEWORKS:
+            raise ValueError(f"unknown framework {framework!r}; options: {FRAMEWORKS}")
+        self.framework = framework
+        self.model_name = model_name
+        self.dataset = dataset
+        self.fanouts = tuple(int(f) for f in fanouts)
+        self.batch_size = batch_size
+        self.max_epochs = max_epochs
+        self.config = config or node_config(
+            model_name,
+            in_dim=dataset.num_features,
+            n_classes=dataset.num_classes,
+            n_layers=len(self.fanouts),
+        )
+        if self.config.n_layers != len(self.fanouts):
+            raise ValueError(
+                f"model depth {self.config.n_layers} needs one fanout per "
+                f"layer, got {len(self.fanouts)}"
+            )
+        self.device = device or Device()
+        self.compile = compile
+        self.prefetch = prefetch
+        self.max_batches = max_batches
+        self.eval_batch_size = eval_batch_size or batch_size
+        self.ensure_self_loops = ensure_self_loops
+        self.full_graph_norm = full_graph_norm
+        #: The :class:`~repro.compile.CompiledStep` of the latest
+        #: :meth:`run` when ``compile=True`` (for its replay stats).
+        self.compiled_step = None
+        #: The trained network from the latest :meth:`run`.
+        self.final_model = None
+
+    # ------------------------------------------------------------------
+    # loaders
+    # ------------------------------------------------------------------
+    def _loader(self, seeds, batch_size, shuffle: bool, rng, prefetch: bool):
+        if self.framework == "pygx":
+            from repro.pygx import NeighborLoader
+            from repro.pygx import PrefetchDataLoader as Prefetch
+        else:
+            from repro.dglx import NeighborLoader
+            from repro.dglx import PrefetchDataLoader as Prefetch
+        loader = NeighborLoader(
+            self.dataset.graph, seeds, self.fanouts, batch_size,
+            shuffle=shuffle, rng=rng,
+            ensure_self_loops=self.ensure_self_loops,
+            full_graph_norm=self.full_graph_norm,
+        )
+        return Prefetch(loader) if prefetch else loader
+
+    def _iterate(self, loader):
+        """Yield ``(inputs, labels, n_seeds)`` uniformly for both packs."""
+        if self.framework == "pygx":
+            for batch in loader:
+                yield batch, batch.y, batch.n_seeds
+        else:
+            yield from loader
+
+    # ------------------------------------------------------------------
+    def _evaluate(self, model, loader) -> float:
+        """Seed-row accuracy over a loader, gradient-free."""
+        model.eval()
+        correct, total = 0.0, 0
+        with no_grad():
+            for inputs, labels, n_seeds in self._iterate(loader):
+                logits = model(inputs)
+                seed_rows = index_rows(logits, np.arange(n_seeds, dtype=np.int64))
+                correct += accuracy(seed_rows, labels) * n_seeds
+                total += n_seeds
+        return correct / max(total, 1)
+
+    # ------------------------------------------------------------------
+    def run(self, seed: int = 0) -> RunResult:
+        """One sampled training run; returns per-epoch records and test acc.
+
+        Validation runs a sampled inference pass per epoch; the reported
+        ``test_acc`` is taken at the best-validation epoch, like the
+        full-batch trainer.  Deterministic for a fixed ``seed``.
+        """
+        ds = self.dataset
+        with use_device(self.device):
+            rng = np.random.default_rng(seed)
+            model = _build(self.framework, self.config, rng)
+            optimizer = Adam(model.parameters(), lr=self.config.lr)
+            # The sampler gets its own RNG stream: sharing ``rng`` with the
+            # model's dropout would make the numerics depend on *when*
+            # batches are sampled, so prefetching (which pumps batches
+            # ahead of the compute that consumes them) would change the
+            # dropout masks.  Separate streams keep prefetch=True bitwise
+            # identical to serial iteration.
+            train_loader = self._loader(
+                ds.train_idx, self.batch_size, shuffle=True,
+                rng=np.random.default_rng(seed + 5_000),
+                prefetch=self.prefetch,
+            )
+            clock = self.device.clock
+            self.device.memory.reset_peak()
+
+            def train_step(inputs, labels, seed_rows):
+                with clock.phase("forward"):
+                    logits = model(inputs)
+                    loss = cross_entropy(index_rows(logits, seed_rows), labels)
+                with clock.phase("backward"):
+                    optimizer.zero_grad()
+                    loss.backward()
+                with clock.phase("update"):
+                    optimizer.step()
+                return loss
+
+            if self.compile:
+                from repro.compile import CompiledStep
+
+                step = CompiledStep(train_step)
+                self.compiled_step = step
+            else:
+                step = train_step
+
+            records = []
+            best_val, best_test = -1.0, 0.0
+            start = clock.snapshot()
+            for epoch in range(self.max_epochs):
+                model.train()
+                before = clock.snapshot()
+                epoch_losses = []
+                for i, (inputs, labels, n_seeds) in enumerate(
+                    self._iterate(train_loader)
+                ):
+                    if self.max_batches is not None and i >= self.max_batches:
+                        break
+                    seed_rows = np.arange(n_seeds, dtype=np.int64)
+                    loss = step(inputs, labels, seed_rows)
+                    epoch_losses.append(loss.item())
+                train_delta = before.delta(clock)
+
+                before_eval = clock.snapshot()
+                # Fresh per-epoch eval rng: evaluation sampling stays
+                # deterministic and independent of how many training
+                # batches ran.
+                val_acc = self._evaluate(
+                    model,
+                    self._loader(ds.val_idx, self.eval_batch_size, shuffle=False,
+                                 rng=seed + 7_000 + epoch, prefetch=False),
+                )
+                eval_delta = before_eval.delta(clock)
+
+                if val_acc > best_val:
+                    best_val = val_acc
+                    best_test = self._evaluate(
+                        model,
+                        self._loader(ds.test_idx, self.eval_batch_size,
+                                     shuffle=False, rng=seed + 9_000 + epoch,
+                                     prefetch=False),
+                    )
+                records.append(
+                    EpochRecord(
+                        epoch=epoch,
+                        train_time=train_delta.elapsed,
+                        eval_time=eval_delta.elapsed,
+                        phase_times=train_delta.phase_elapsed,
+                        train_loss=float(np.mean(epoch_losses)) if epoch_losses else 0.0,
+                        val_loss=0.0,
+                        val_acc=val_acc,
+                    )
+                )
+            self.final_model = model
+            total = start.delta(clock).elapsed
+            return RunResult(
+                test_acc=best_test,
+                epochs=records,
+                peak_memory=self.device.memory.peak,
+                gpu_utilization=clock.utilization(),
+                total_time=total,
+            )
+
+    # ------------------------------------------------------------------
+    def sampled_accuracy(self, model, seeds: np.ndarray, seed: int = 0) -> float:
+        """Sampled-inference accuracy of ``model`` over arbitrary seeds."""
+        with use_device(self.device):
+            loader = self._loader(
+                np.asarray(seeds, dtype=np.int64), self.eval_batch_size,
+                shuffle=False, rng=seed, prefetch=False,
+            )
+            return self._evaluate(model, loader)

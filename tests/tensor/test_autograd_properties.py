@@ -80,6 +80,11 @@ def test_random_expression_chain_gradient(seed, depth):
     # exp/square chains can reach ~1e12, where float32 central differences
     # are dominated by truncation error; only check the trustworthy regime
     assume(np.all(np.isfinite(t.grad)) and abs(float(t.grad[idx])) < 1e4)
+    # The ±eps step must also move the loss by much more than one float32
+    # ulp at the loss's own magnitude, or the difference quantises to 0
+    # (e.g. loss ~2e9 has ulp 128 while grad*eps may be ~1).
+    resolution = np.spacing(np.float32(abs(out.item()))) / (2 * eps)
+    assume(resolution < 0.01 * max(abs(float(t.grad[idx])), 1.0))
     plus = base.copy()
     plus[idx] += eps
     minus = base.copy()

@@ -33,7 +33,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 #: Bench files the directory mode looks for.
 BENCH_FILES = ("BENCH_serving.json", "BENCH_compile.json", "BENCH_faults.json",
-               "BENCH_overlap.json")
+               "BENCH_overlap.json", "BENCH_scale.json")
 
 #: Gated metrics per experiment kind: (metric, direction, absolute floor).
 #: ``lower`` means a larger current value is a regression; ``higher`` the
@@ -60,6 +60,22 @@ OVERLAP_METRICS = (
     ("parity", "exact", 0.0),
     ("within_projection", "exact", 0.0),
     ("speedup", "higher", 0.01),
+)
+#: Scale cells run on the simulated clock and a capped memory pool, so
+#: all three sections are deterministic: the fit/parity booleans gate
+#: exactly, the accuracy gap and throughput within the relative tolerance.
+SCALE_TRAINING_METRICS = (
+    ("under_cap", "exact", 0.0),
+    ("full_graph_exceeds_cap", "exact", 0.0),
+    ("epochs_per_sec", "higher", 0.01),
+)
+SCALE_PARITY_METRICS = (
+    ("within_tolerance", "exact", 0.0),
+    ("gap", "lower", 0.005),
+)
+SCALE_PARTITIONED_METRICS = (
+    ("under_cap", "exact", 0.0),
+    ("test_acc", "higher", 0.01),
 )
 
 
@@ -162,6 +178,31 @@ def check_overlap(baseline: Dict, current: Dict,
     return out
 
 
+def check_scale(baseline: Dict, current: Dict,
+                tolerance: float) -> List[Regression]:
+    sections = (
+        ("training", SCALE_TRAINING_METRICS,
+         lambda c: (c["framework"], c["model"])),
+        ("parity", SCALE_PARITY_METRICS,
+         lambda c: (c["framework"], c["model"])),
+        ("partitioned", SCALE_PARTITIONED_METRICS,
+         lambda c: (c["framework"], c["model"], c["k"])),
+    )
+    out: List[Regression] = []
+    for section, metrics, key_of in sections:
+        base_cells = {key_of(c): c for c in baseline.get(section, [])}
+        cur_cells = {key_of(c): c for c in current.get(section, [])}
+        for key, cell in sorted(base_cells.items()):
+            label = "scale.%s[%s]" % (section, "/".join(str(k) for k in key))
+            if key not in cur_cells:
+                out.append(Regression(label, "cell", "present", None,
+                                      "cell missing from current run"))
+                continue
+            out.extend(_check_metrics(label, metrics, cell,
+                                      cur_cells[key], tolerance))
+    return out
+
+
 def check_serving(baseline: List[Dict], current: List[Dict],
                   tolerance: float) -> List[Regression]:
     out: List[Regression] = []
@@ -215,6 +256,8 @@ def check_file(name: str, baseline: object, current: object,
         return check_faults(baseline, current, tolerance)
     if kind == "overlap":
         return check_overlap(baseline, current, tolerance)
+    if kind == "scale":
+        return check_scale(baseline, current, tolerance)
     raise ValueError(f"{name}: unrecognised bench document (experiment={kind!r})")
 
 
