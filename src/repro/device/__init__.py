@@ -7,6 +7,15 @@ substitution rationale.
 
 from repro.device.clock import ClockSnapshot, SimClock
 from repro.device.core import Device, current_device, set_device, use_device
+from repro.device.fabric import (
+    Fabric,
+    FabricStats,
+    Link,
+    LinkSpec,
+    LinkTransfer,
+    NVLINK,
+    PCIE_P2P,
+)
 from repro.device.gpu import GPUSpec, RTX_2080TI, TOY_GPU
 from repro.device.host import DEFAULT_HOST_COSTS, HostCostModel
 from repro.device.kernel import KernelRecord, Profiler
@@ -31,6 +40,13 @@ __all__ = [
     "current_device",
     "set_device",
     "use_device",
+    "Fabric",
+    "FabricStats",
+    "Link",
+    "LinkSpec",
+    "LinkTransfer",
+    "NVLINK",
+    "PCIE_P2P",
     "GPUSpec",
     "RTX_2080TI",
     "TOY_GPU",

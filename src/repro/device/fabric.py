@@ -1,0 +1,206 @@
+"""Modelled interconnect fabric between replica devices.
+
+The paper's multi-GPU study (Fig. 6) runs on a single host whose GPUs talk
+over PCIe; modern DDP training instead moves gradients over NVLink-class
+links with NCCL collectives.  This module models that substrate: a
+:class:`Fabric` is a set of directed point-to-point :class:`Link` objects
+between ``world_size`` replicas, each link a private timeline on the
+simulated clock (timestamps are :class:`~repro.device.SimClock` seconds).
+
+Like :class:`~repro.device.Stream`, a link executes nothing — it is pure
+time accounting.  A transfer occupies its link for ``latency +
+nbytes / bandwidth`` seconds starting no earlier than both the caller's
+``earliest`` timestamp and the link's previous transfer draining; that
+``max`` is the contention model.  Two collectives racing over the same link
+(two gradient buckets in flight, say) serialise exactly where real NCCL
+channels would.
+
+Profiles:
+
+* :data:`NVLINK` — one NVLink 2.0 brick per direction (25 GB/s, ~1.5 us),
+  the 2080 Ti-era peer link.
+* :data:`PCIE_P2P` — peer-to-peer over the PCIe 3.0 x16 switch, matching
+  the :class:`~repro.device.GPUSpec` host-transfer numbers (12 GB/s, 10 us).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+
+@dataclass(frozen=True)
+class LinkSpec:
+    """Static description of one interconnect link class."""
+
+    name: str
+    #: Sustained bandwidth per direction, bytes/s.
+    bandwidth: float
+    #: Fixed per-transfer latency, seconds.
+    latency: float
+
+    def transfer_time(self, nbytes: float) -> float:
+        """Seconds one ``nbytes`` transfer occupies a link of this class."""
+        if nbytes < 0:
+            raise ValueError(f"cannot transfer {nbytes!r} bytes")
+        return self.latency + nbytes / self.bandwidth
+
+
+#: NVLink 2.0, one brick per direction (the 2080 Ti generation's peer link).
+NVLINK = LinkSpec(name="nvlink", bandwidth=25e9, latency=1.5e-6)
+
+#: PCIe 3.0 x16 peer-to-peer through the host switch.
+PCIE_P2P = LinkSpec(name="pcie-p2p", bandwidth=12e9, latency=10e-6)
+
+
+@dataclass(frozen=True)
+class LinkTransfer:
+    """One completed transfer over a link (for the fabric trace track)."""
+
+    src: int
+    dst: int
+    start: float
+    end: float
+    nbytes: int
+    #: Collective / bucket label the transfer belonged to.
+    label: str
+
+
+class Link:
+    """A directed point-to-point link with its own occupancy timeline.
+
+    Attributes:
+        src, dst: Replica ids of the endpoints.
+        spec: The :class:`LinkSpec` timing profile.
+        free_at: Simulated time at which the link's last transfer drains.
+        busy: Total seconds the link has been occupied.
+        bytes_moved: Total bytes carried.
+        n_transfers: Number of transfers carried.
+    """
+
+    def __init__(self, src: int, dst: int, spec: LinkSpec) -> None:
+        self.src = src
+        self.dst = dst
+        self.spec = spec
+        self.free_at: float = 0.0
+        self.busy: float = 0.0
+        self.bytes_moved: int = 0
+        self.n_transfers: int = 0
+
+    @property
+    def name(self) -> str:
+        return f"gpu{self.src}->gpu{self.dst}"
+
+    def occupy(self, nbytes: int, earliest: float) -> Tuple[float, float]:
+        """Occupy the link with one transfer; returns ``(start, end)``.
+
+        The transfer starts at ``max(earliest, free_at)`` — the contention
+        rule — and holds the link for the spec's transfer time.
+        """
+        duration = self.spec.transfer_time(nbytes)
+        start = max(earliest, self.free_at)
+        end = start + duration
+        self.free_at = end
+        self.busy += duration
+        self.bytes_moved += int(nbytes)
+        self.n_transfers += 1
+        return start, end
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Link({self.name}, {self.spec.name}, busy={self.busy:.6f}s)"
+
+
+@dataclass
+class FabricStats:
+    """Aggregate fabric counters (for BENCH_scaling.json cells)."""
+
+    bytes_moved: int = 0
+    transfers: int = 0
+    busy_seconds: float = 0.0
+    links_used: int = 0
+    contention_seconds: float = field(default=0.0)
+
+
+class Fabric:
+    """All links between ``world_size`` replicas, created on first use.
+
+    ``record=True`` keeps one :class:`LinkTransfer` per transfer for the
+    Chrome-trace fabric track (off by default so long runs stay bounded,
+    mirroring :class:`~repro.device.Profiler`).
+    """
+
+    def __init__(self, world_size: int, spec: LinkSpec = NVLINK, record: bool = False) -> None:
+        if world_size < 1:
+            raise ValueError("world_size must be >= 1")
+        self.world_size = world_size
+        self.spec = spec
+        self.record = record
+        self._links: Dict[Tuple[int, int], Link] = {}
+        self.transfers: List[LinkTransfer] = []
+        #: Seconds transfers spent queued behind earlier transfers on the
+        #: same link (the contention observable).
+        self.contention_seconds: float = 0.0
+
+    # ------------------------------------------------------------------
+    def link(self, src: int, dst: int) -> Link:
+        """The directed link ``src -> dst``, created on first use."""
+        for end, role in ((src, "src"), (dst, "dst")):
+            if not 0 <= end < self.world_size:
+                raise ValueError(
+                    f"{role}={end} outside fabric of world_size={self.world_size}"
+                )
+        if src == dst:
+            raise ValueError("a replica does not need a link to itself")
+        key = (src, dst)
+        existing = self._links.get(key)
+        if existing is None:
+            existing = self._links[key] = Link(src, dst, self.spec)
+        return existing
+
+    @property
+    def links(self) -> List[Link]:
+        """All links created so far, in (src, dst) order."""
+        return [self._links[k] for k in sorted(self._links)]
+
+    # ------------------------------------------------------------------
+    def transfer(self, src: int, dst: int, nbytes: int, earliest: float,
+                 label: str = "transfer") -> Tuple[float, float]:
+        """Carry ``nbytes`` from ``src`` to ``dst``; returns ``(start, end)``.
+
+        ``earliest`` is the simulated time the payload exists at the sender
+        (its stream's completion of the producing work); queueing behind an
+        occupied link past that point is accounted as contention.
+        """
+        link = self.link(src, dst)
+        start, end = link.occupy(nbytes, earliest)
+        if start > earliest:
+            self.contention_seconds += start - earliest
+        if self.record:
+            self.transfers.append(
+                LinkTransfer(src=src, dst=dst, start=start, end=end,
+                             nbytes=int(nbytes), label=label)
+            )
+        return start, end
+
+    # ------------------------------------------------------------------
+    def stats(self) -> FabricStats:
+        links = self.links
+        return FabricStats(
+            bytes_moved=sum(l.bytes_moved for l in links),
+            transfers=sum(l.n_transfers for l in links),
+            busy_seconds=sum(l.busy for l in links),
+            links_used=len(links),
+            contention_seconds=self.contention_seconds,
+        )
+
+    def reset(self) -> None:
+        """Clear all link timelines and recorded transfers."""
+        self._links.clear()
+        self.transfers.clear()
+        self.contention_seconds = 0.0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Fabric(world_size={self.world_size}, spec={self.spec.name!r}, "
+            f"links={len(self._links)})"
+        )

@@ -31,10 +31,11 @@ class KernelRecord:
     #: the Chrome trace can render one track per stream.
     stream: int = 0
     #: Training-loop phase active at launch ("sampling", "data_loading",
-    #: "forward", ...; empty outside any phase).  Lets sampled-training
-    #: profiles attribute sampler time separately from data loading and
-    #: compute.  Defaults to "" so records built by older call sites stay
-    #: valid.
+    #: "forward", "comm", ...; empty outside any phase).  Lets sampled-
+    #: training profiles attribute sampler time separately from data
+    #: loading and compute, and distributed profiles attribute collective
+    #: ("nccl:*") kernels to "comm".  Defaults to "" so records built by
+    #: older call sites stay valid.
     phase: str = ""
 
     def in_scope(self, prefix: Sequence[str]) -> bool:
@@ -102,7 +103,8 @@ class Profiler:
 
         Records launched outside any clock phase land under ``"other"``.
         Sampled-training profiles use this to separate "sampling" cost
-        from "data_loading" and the compute phases.
+        from "data_loading" and the compute phases; DDP training adds a
+        "comm" phase carrying the collective (``nccl:*``) kernels.
         """
         out: Dict[str, float] = {}
         for r in self.records:

@@ -9,14 +9,20 @@ named and bucketed by its innermost scope.
 from __future__ import annotations
 
 import json
-from typing import Dict, List, Optional
+from typing import TYPE_CHECKING, Dict, List, Optional
 
 from repro.device.kernel import KernelRecord
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.device.fabric import Fabric
+
+FABRIC_PID = 1
 
 
 def to_chrome_trace(
     records: List[KernelRecord],
     stream_names: Optional[Dict[int, str]] = None,
+    fabric: Optional["Fabric"] = None,
 ) -> str:
     """Render kernel records as a Chrome trace JSON string.
 
@@ -33,6 +39,12 @@ def to_chrome_trace(
     Alongside the kernel tracks, a counter track ("Device memory") samples
     the simulated memory in use at each kernel's retirement — the Perfetto
     equivalent of watching ``nvidia-smi`` during the step.
+
+    Pass a recording :class:`~repro.device.fabric.Fabric`
+    (``Fabric(..., record=True)``) to add an "interconnect" process whose
+    tracks are the directed fabric links; every recorded transfer renders
+    as a complete event on its link's row, so collective schedules show up
+    exactly like NCCL's per-channel rows in an nvprof timeline.
     """
     events = []
     names = dict(stream_names or {})
@@ -80,6 +92,48 @@ def to_chrome_trace(
                 "args": {"used_mb": record.memory / 1e6},
             }
         )
+    if fabric is not None and fabric.transfers:
+        events.append(
+            {
+                "name": "process_name",
+                "ph": "M",
+                "pid": FABRIC_PID,
+                "args": {"name": f"interconnect ({fabric.spec.name})"},
+            }
+        )
+        link_tids = {
+            pair: tid
+            for tid, pair in enumerate(
+                sorted({(t.src, t.dst) for t in fabric.transfers})
+            )
+        }
+        for (src, dst), tid in link_tids.items():
+            events.append(
+                {
+                    "name": "thread_name",
+                    "ph": "M",
+                    "pid": FABRIC_PID,
+                    "tid": tid,
+                    "args": {"name": f"link {src}->{dst}"},
+                }
+            )
+        for transfer in fabric.transfers:
+            events.append(
+                {
+                    "name": transfer.label or "transfer",
+                    "cat": "fabric",
+                    "ph": "X",
+                    "ts": transfer.start * 1e6,
+                    "dur": (transfer.end - transfer.start) * 1e6,
+                    "pid": FABRIC_PID,
+                    "tid": link_tids[(transfer.src, transfer.dst)],
+                    "args": {
+                        "bytes": transfer.nbytes,
+                        "src": transfer.src,
+                        "dst": transfer.dst,
+                    },
+                }
+            )
     return json.dumps({"traceEvents": events, "displayTimeUnit": "ms"})
 
 
@@ -87,7 +141,9 @@ def write_chrome_trace(
     records: List[KernelRecord],
     path,
     stream_names: Optional[Dict[int, str]] = None,
+    fabric: Optional["Fabric"] = None,
 ) -> None:
     """Write the trace JSON to ``path``."""
     with open(path, "w") as fh:
-        fh.write(to_chrome_trace(records, stream_names=stream_names))
+        fh.write(to_chrome_trace(records, stream_names=stream_names,
+                                 fabric=fabric))

@@ -11,6 +11,7 @@ from repro.dglx.batch import batch as dgl_batch
 from repro.dglx.heterograph import DGLGraph
 from repro.graph import GraphSample, as_generator
 from repro.graph.graph import RngLike
+from repro.graph.sharding import check_shard, shard_order
 
 
 class GraphDataLoader:
@@ -18,6 +19,11 @@ class GraphDataLoader:
 
     Collation runs under the ``data_loading`` clock phase so the Fig. 1/2
     breakdown attributes its (heterograph, per-type) cost correctly.
+
+    With ``world_size > 1`` the loader yields only replica ``rank``'s
+    shard of each epoch's order (see :mod:`repro.graph.sharding`):
+    identically seeded RNGs on all replicas give disjoint, equal-sized,
+    drop-remainder shards.
     """
 
     def __init__(
@@ -28,32 +34,34 @@ class GraphDataLoader:
         rng: RngLike = None,
         drop_last: bool = False,
         with_pos: bool = False,
+        rank: int = 0,
+        world_size: int = 1,
     ) -> None:
         if batch_size <= 0:
             raise ValueError("batch_size must be positive")
         self.graphs: List[GraphSample] = list(graphs)
-        if drop_last and len(self.graphs) < batch_size:
-            raise ValueError(
-                f"drop_last=True with batch_size={batch_size} would yield zero "
-                f"batches over {len(self.graphs)} graphs"
-            )
+        shard_len = check_shard(len(self.graphs), batch_size, drop_last,
+                                rank, world_size)
         self.batch_size = batch_size
         self.shuffle = shuffle
         self.rng = as_generator(rng)
         self.drop_last = drop_last
         self.with_pos = with_pos
+        self.rank = rank
+        self.world_size = world_size
+        self._shard_len = shard_len
 
     def __len__(self) -> int:
-        n = len(self.graphs)
         if self.drop_last:
-            return n // self.batch_size
-        return (n + self.batch_size - 1) // self.batch_size
+            return self._shard_len // self.batch_size
+        return (self._shard_len + self.batch_size - 1) // self.batch_size
 
     def __iter__(self) -> Iterator[Tuple[DGLGraph, np.ndarray]]:
         device = current_device()
         order = np.arange(len(self.graphs))
         if self.shuffle:
             order = self.rng.permutation(len(self.graphs))
+        order = shard_order(order, self.rank, self.world_size)
         for start in range(0, len(order), self.batch_size):
             indices = order[start : start + self.batch_size]
             if self.drop_last and len(indices) < self.batch_size:

@@ -1,0 +1,72 @@
+"""Effective-batch arithmetic for distributed training.
+
+The paper sweeps the *loader* batch size (Fig. 5/6); under DDP the number
+a practitioner actually tunes is the **global batch**: how many graphs
+contribute to one optimizer step.  A :class:`BatchConfig` factors it as
+
+    global = micro_batch_size x grad_accumulation x replicas
+
+so a trainer can trade replica parallelism against gradient accumulation
+at a fixed effective batch, exactly the knob the scaling bench sweeps.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class BatchConfig:
+    """How one optimizer step's global batch is assembled.
+
+    Attributes:
+        micro_batch_size: Graphs per forward/backward on one replica.
+        grad_accumulation: Micro-steps accumulated before the optimizer
+            steps; gradients of each micro-batch loss are scaled by
+            ``1/grad_accumulation`` so the accumulated gradient matches
+            the mean-loss gradient of the full replica batch.
+        replicas: Data-parallel world size; gradients are averaged across
+            replicas by the bucket all-reduce.
+    """
+
+    micro_batch_size: int
+    grad_accumulation: int = 1
+    replicas: int = 1
+
+    def __post_init__(self) -> None:
+        for name in ("micro_batch_size", "grad_accumulation", "replicas"):
+            value = getattr(self, name)
+            if not isinstance(value, int) or value < 1:
+                raise ValueError(f"{name} must be a positive int, got {value!r}")
+
+    @property
+    def replica_batch_size(self) -> int:
+        """Graphs one replica consumes per optimizer step."""
+        return self.micro_batch_size * self.grad_accumulation
+
+    @property
+    def global_batch_size(self) -> int:
+        """Graphs contributing to one optimizer step across all replicas."""
+        return self.replica_batch_size * self.replicas
+
+    @classmethod
+    def for_global_batch(cls, global_batch_size: int, replicas: int = 1,
+                         grad_accumulation: int = 1) -> "BatchConfig":
+        """Split a target global batch evenly over replicas and micro-steps.
+
+        Raises ``ValueError`` when the split is uneven — a silently
+        rounded batch would break parity with the single-device baseline.
+        """
+        per_step = replicas * grad_accumulation
+        micro, remainder = divmod(global_batch_size, per_step)
+        if remainder or micro < 1:
+            raise ValueError(
+                f"global_batch_size={global_batch_size} does not split over "
+                f"{replicas} replica(s) x {grad_accumulation} micro-step(s)"
+            )
+        return cls(micro_batch_size=micro, grad_accumulation=grad_accumulation,
+                   replicas=replicas)
+
+    def __str__(self) -> str:
+        return (f"{self.global_batch_size} = {self.micro_batch_size} micro "
+                f"x {self.grad_accumulation} accum x {self.replicas} replicas")

@@ -1,0 +1,56 @@
+"""Per-replica data sharding shared by both framework packs' loaders.
+
+Distributed data parallelism needs each replica to see a disjoint,
+equal-sized slice of every epoch's (possibly shuffled) sample order.  Both
+loaders implement it the same way: draw the full permutation as usual,
+truncate it to the largest multiple of ``world_size`` (drop-remainder, so
+shards stay equal and optimizer steps stay in lockstep), and stride it by
+rank::
+
+    shard(rank) = order[: (n // world) * world][rank :: world]
+
+Determinism: given identically seeded loader RNGs on every replica, all
+replicas draw the *same* permutation, so the strided shards are disjoint
+and cover the truncated epoch exactly once.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def check_shard(n: int, batch_size: int, drop_last: bool,
+                rank: int, world_size: int) -> int:
+    """Validate sharding arguments against ``n`` samples; returns shard size.
+
+    Raises ``ValueError`` eagerly at loader construction — mirroring the
+    existing ``drop_last`` zero-batch error — when the shard would be
+    empty or when ``drop_last`` would drop every batch of the shard.
+    """
+    if world_size < 1:
+        raise ValueError(f"world_size must be >= 1, got {world_size}")
+    if not 0 <= rank < world_size:
+        raise ValueError(f"rank must be in [0, {world_size - 1}], got {rank}")
+    shard_len = n // world_size
+    if shard_len == 0 and world_size > 1:
+        # An unsharded loader over zero graphs stays legal (it yields
+        # nothing); an *empty shard* under data parallelism means the
+        # replica would silently sit out every step — error eagerly.
+        raise ValueError(
+            f"world_size={world_size} would yield an empty shard "
+            f"over {n} graphs"
+        )
+    if drop_last and shard_len < batch_size:
+        raise ValueError(
+            f"drop_last=True with batch_size={batch_size} would yield zero "
+            f"batches over {shard_len} graphs"
+        )
+    return shard_len
+
+
+def shard_order(order: np.ndarray, rank: int, world_size: int) -> np.ndarray:
+    """Rank's slice of a sample order (drop-remainder, stride-by-rank)."""
+    if world_size == 1:
+        return order
+    n_even = (len(order) // world_size) * world_size
+    return order[:n_even][rank::world_size]

@@ -9,6 +9,7 @@ import numpy as np
 from repro.device import current_device
 from repro.graph import GraphSample, as_generator
 from repro.graph.graph import RngLike
+from repro.graph.sharding import check_shard, shard_order
 from repro.pygx.data import Batch, Data
 
 
@@ -17,6 +18,11 @@ class DataLoader:
 
     Collation happens under the clock's ``data_loading`` phase so trainers
     get the Fig. 1/2 breakdown for free.
+
+    With ``world_size > 1`` the loader yields only replica ``rank``'s
+    shard of each epoch's order (see :mod:`repro.graph.sharding`):
+    identically seeded RNGs on all replicas give disjoint, equal-sized,
+    drop-remainder shards.
     """
 
     def __init__(
@@ -26,31 +32,33 @@ class DataLoader:
         shuffle: bool = False,
         rng: RngLike = None,
         drop_last: bool = False,
+        rank: int = 0,
+        world_size: int = 1,
     ) -> None:
         if batch_size <= 0:
             raise ValueError("batch_size must be positive")
         self.data: List[Data] = [Data.from_sample(g) for g in graphs]
-        if drop_last and len(self.data) < batch_size:
-            raise ValueError(
-                f"drop_last=True with batch_size={batch_size} would yield zero "
-                f"batches over {len(self.data)} graphs"
-            )
+        shard_len = check_shard(len(self.data), batch_size, drop_last,
+                                rank, world_size)
         self.batch_size = batch_size
         self.shuffle = shuffle
         self.rng = as_generator(rng)
         self.drop_last = drop_last
+        self.rank = rank
+        self.world_size = world_size
+        self._shard_len = shard_len
 
     def __len__(self) -> int:
-        n = len(self.data)
         if self.drop_last:
-            return n // self.batch_size
-        return (n + self.batch_size - 1) // self.batch_size
+            return self._shard_len // self.batch_size
+        return (self._shard_len + self.batch_size - 1) // self.batch_size
 
     def __iter__(self) -> Iterator[Batch]:
         device = current_device()
         order = np.arange(len(self.data))
         if self.shuffle:
             order = self.rng.permutation(len(self.data))
+        order = shard_order(order, self.rank, self.world_size)
         for start in range(0, len(order), self.batch_size):
             indices = order[start : start + self.batch_size]
             if self.drop_last and len(indices) < self.batch_size:

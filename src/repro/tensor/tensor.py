@@ -33,7 +33,8 @@ BackwardFn = Callable[[np.ndarray], Tuple[Optional[np.ndarray], ...]]
 class Tensor:
     """A numpy array with a reverse-mode autograd tape."""
 
-    __slots__ = ("data", "requires_grad", "grad", "_parents", "_backward", "__weakref__")
+    __slots__ = ("data", "requires_grad", "grad", "_parents", "_backward",
+                 "_post_accumulate_hooks", "__weakref__")
 
     def __init__(self, data: ArrayLike, requires_grad: bool = False) -> None:
         if isinstance(data, Tensor):
@@ -45,6 +46,7 @@ class Tensor:
         self.grad: Optional[np.ndarray] = None
         self._parents: Tuple["Tensor", ...] = ()
         self._backward: Optional[BackwardFn] = None
+        self._post_accumulate_hooks: Optional[List[Callable[["Tensor"], None]]] = None
 
     # ------------------------------------------------------------------
     # introspection
@@ -154,6 +156,32 @@ class Tensor:
     def zero_grad(self) -> None:
         self.grad = None
 
+    def register_post_accumulate_grad_hook(
+        self, hook: Callable[["Tensor"], None]
+    ) -> Callable[[], None]:
+        """Call ``hook(self)`` after a backward pass accumulates into ``.grad``.
+
+        Mirrors ``torch.Tensor.register_post_accumulate_grad_hook``: the
+        autograd walk merges all contributions to a leaf before touching
+        ``.grad``, so the hook fires exactly once per leaf per backward —
+        the point where DDP knows a gradient is final and its bucket may
+        ship.  Returns a zero-argument handle that removes the hook.
+        """
+        if not self.requires_grad:
+            raise RuntimeError(
+                "post-accumulate hooks only fire on tensors that require grad"
+            )
+        if self._post_accumulate_hooks is None:
+            self._post_accumulate_hooks = []
+        hooks = self._post_accumulate_hooks
+        hooks.append(hook)
+
+        def remove() -> None:
+            if hook in hooks:
+                hooks.remove(hook)
+
+        return remove
+
     # ------------------------------------------------------------------
     # arithmetic (thin wrappers over repro.tensor.ops)
     # ------------------------------------------------------------------
@@ -260,6 +288,9 @@ def _accumulate_leaf(tensor: Tensor, grad: np.ndarray) -> None:
         )
         tensor.grad = tensor.grad + grad
         current_device().track(tensor.grad)
+    if tensor._post_accumulate_hooks:
+        for hook in tuple(tensor._post_accumulate_hooks):
+            hook(tensor)
 
 
 def make_op(

@@ -10,6 +10,7 @@ from repro.train.checkpoint import (
     save_checkpoint,
     save_run_state,
 )
+from repro.train.ddp_trainer import DDP_PHASES, DDPTrainer
 from repro.train.graph_trainer import FaultTolerantRun, GraphClassificationTrainer
 from repro.train.multi_gpu import multi_gpu_epoch_time
 from repro.train.node_trainer import NodeClassificationTrainer
@@ -20,6 +21,8 @@ from repro.train.stats import AccuracyComparison, compare_accuracies
 __all__ = [
     "NodeClassificationTrainer",
     "GraphClassificationTrainer",
+    "DDPTrainer",
+    "DDP_PHASES",
     "SampledNodeTrainer",
     "FaultTolerantRun",
     "RunState",

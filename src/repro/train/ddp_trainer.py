@@ -1,0 +1,288 @@
+"""Data-parallel training with bucketed all-reduce — the DDP counterpart
+to the Fig. 6 DataParallel simulation.
+
+A :class:`DDPTrainer` runs the Table V training protocol across
+``BatchConfig.replicas`` data-parallel replicas:
+
+* Replica 0 executes on the measured device, phase-instrumented exactly
+  like :class:`~repro.train.GraphClassificationTrainer` (plus a ``comm``
+  phase for gradient synchronisation).
+* Replicas ``1..N-1`` execute the same micro-batches-worth of work on
+  *shadow* devices — their numerics are real (each computes gradients of
+  its own disjoint data shard against the shared parameters) but their
+  time lands on discarded clocks, the same replica-symmetry assumption
+  :mod:`repro.train.multi_gpu` makes for DataParallel.
+* Shadow gradients are staged into the
+  :class:`~repro.dist.DistributedDataParallel` wrapper, whose grad hooks
+  launch bucket all-reduces *during* replica 0's backward; the residual
+  wait is paid in :meth:`~repro.dist.DistributedDataParallel.finish_backward`
+  before the optimizer step.
+
+At ``world_size == 1`` (and ``grad_accumulation == 1``) the op and RNG
+sequence is identical to the single-device trainer, so losses match
+bitwise — eager or compiled, either framework.  Gradient accumulation
+scales each micro-loss by ``1/k``, making the accumulated gradient equal
+(to float tolerance) to the full replica-batch gradient.
+"""
+
+from __future__ import annotations
+
+from contextlib import nullcontext
+from typing import Iterator, List, Optional
+
+import numpy as np
+
+from repro.datasets.base import GraphClassificationDataset
+from repro.device import Device, LinkSpec, NVLINK, use_device
+from repro.dist import (
+    BatchConfig,
+    Communicator,
+    DEFAULT_BUCKET_BYTES,
+    DistributedDataParallel,
+    collect_grads,
+)
+from repro.models import ModelConfig
+from repro.nn import cross_entropy
+from repro.optim import Adam, ReduceLROnPlateau
+from repro.train.graph_trainer import GraphClassificationTrainer, _build
+from repro.train.results import EpochRecord, RunResult
+
+#: Phase breakdown of a DDP epoch (Fig. 1/2 phases plus gradient sync).
+DDP_PHASES = ("data_loading", "forward", "backward", "comm", "update")
+
+
+def _take(iterator: Iterator, k: int) -> List:
+    """Up to ``k`` items from ``iterator`` (fewer at the epoch tail)."""
+    out = []
+    for _ in range(k):
+        item = next(iterator, None)
+        if item is None:
+            break
+        out.append(item)
+    return out
+
+
+class DDPTrainer(GraphClassificationTrainer):
+    """Trains one (framework, model) pair data-parallel over replicas."""
+
+    def __init__(
+        self,
+        framework: str,
+        model_name: str,
+        dataset: GraphClassificationDataset,
+        batch: BatchConfig,
+        max_epochs: int = 1000,
+        config: Optional[ModelConfig] = None,
+        device: Optional[Device] = None,
+        compile: bool = False,
+        prefetch: bool = False,
+        link: LinkSpec = NVLINK,
+        bucket_bytes: int = DEFAULT_BUCKET_BYTES,
+        algorithm: str = "auto",
+        record_transfers: bool = False,
+    ) -> None:
+        super().__init__(
+            framework,
+            model_name,
+            dataset,
+            batch_size=batch.micro_batch_size,
+            max_epochs=max_epochs,
+            config=config,
+            device=device,
+            compile=compile,
+            prefetch=prefetch,
+        )
+        self.batch = batch
+        self.world_size = batch.replicas
+        self.link = link
+        self.bucket_bytes = bucket_bytes
+        self.algorithm = algorithm
+        self.record_transfers = record_transfers
+        #: The :class:`~repro.dist.Communicator` of the most recent
+        #: :meth:`run_fold` (for its collective stats and fabric).
+        self.communicator: Optional[Communicator] = None
+        #: The :class:`~repro.dist.DistributedDataParallel` wrapper of the
+        #: most recent :meth:`run_fold`.
+        self.ddp: Optional[DistributedDataParallel] = None
+
+    # ------------------------------------------------------------------
+    def _shard_loader(self, graphs, rng, rank: int):
+        """Replica ``rank``'s training loader over its epoch shard."""
+        if self.framework == "pygx":
+            from repro.pygx import DataLoader
+            from repro.pygx import PrefetchDataLoader as Prefetch
+
+            loader = DataLoader(graphs, self.batch_size, shuffle=True,
+                                rng=rng, rank=rank,
+                                world_size=self.world_size)
+        else:
+            from repro.dglx import GraphDataLoader
+            from repro.dglx import PrefetchDataLoader as Prefetch
+
+            loader = GraphDataLoader(graphs, self.batch_size, shuffle=True,
+                                     rng=rng, rank=rank,
+                                     world_size=self.world_size)
+        # Prefetch pipelines replica 0 (the measured timeline); shadow
+        # replicas' loading time is discarded with their clocks anyway.
+        return Prefetch(loader) if (self.prefetch and rank == 0) else loader
+
+    # ------------------------------------------------------------------
+    def run_fold(
+        self,
+        train_idx: np.ndarray,
+        val_idx: np.ndarray,
+        test_idx: np.ndarray,
+        seed: int = 0,
+        state_path=None,
+        resume: bool = False,
+    ) -> RunResult:
+        """Train one fold data-parallel; returns the usual :class:`RunResult`.
+
+        Checkpointing (``state_path``/``resume``) is not supported under
+        DDP; both must stay at their defaults.
+        """
+        if state_path is not None or resume:
+            raise NotImplementedError("DDPTrainer does not checkpoint runs")
+        ds = self.dataset
+        world = self.world_size
+        accum = self.batch.grad_accumulation
+        with use_device(self.device):
+            rng = np.random.default_rng(seed)
+            model = _build(self.framework, self.config, rng)
+            optimizer = Adam(model.parameters(), lr=self.config.lr)
+            scheduler = ReduceLROnPlateau(
+                optimizer,
+                factor=self.config.lr_reduce_factor,
+                patience=self.config.lr_patience,
+            )
+            train_subset = ds.subset(train_idx)
+            if world > 1:
+                # One draw seeds *identical* loader RNGs on every replica:
+                # same permutation everywhere, so the strided shards are
+                # disjoint (repro.graph.sharding).
+                loader_seed = int(rng.integers(2 ** 63))
+                train_loaders = [
+                    self._shard_loader(
+                        train_subset, rng=np.random.default_rng(loader_seed),
+                        rank=r)
+                    for r in range(world)
+                ]
+            else:
+                # Same RNG threading as the single-device trainer — the
+                # basis of the world_size=1 bitwise-parity guarantee.
+                train_loaders = [self._shard_loader(train_subset, rng=rng,
+                                                    rank=0)]
+            val_loader = self._loader(ds.subset(val_idx), shuffle=False, rng=rng)
+            test_loader = self._loader(ds.subset(test_idx), shuffle=False, rng=rng)
+
+            comm = Communicator(world, device=self.device, link=self.link,
+                                record_transfers=self.record_transfers)
+            ddp = DistributedDataParallel(model, comm,
+                                          bucket_bytes=self.bucket_bytes,
+                                          algorithm=self.algorithm)
+            self.communicator, self.ddp = comm, ddp
+            shadows = [Device(self.device.spec, self.device.host_costs)
+                       for _ in range(world - 1)]
+            clock = self.device.clock
+            self.device.memory.reset_peak()
+            inv_accum = 1.0 / accum
+
+            def micro_step(inputs, labels, first):
+                with clock.phase("forward"):
+                    logits = model(inputs)
+                    loss = cross_entropy(logits, labels)
+                    if accum > 1:
+                        loss = loss * inv_accum
+                with clock.phase("backward"):
+                    if first:
+                        optimizer.zero_grad()
+                    loss.backward()
+                return loss
+
+            def shadow_micro(inputs, labels, first):
+                logits = model(inputs)
+                loss = cross_entropy(logits, labels)
+                if accum > 1:
+                    loss = loss * inv_accum
+                if first:
+                    optimizer.zero_grad()
+                loss.backward()
+                return loss
+
+            if self.compile:
+                from repro.compile import CompiledStep
+
+                step = CompiledStep(micro_step)
+                self.compiled_step = step
+            else:
+                step = micro_step
+
+            named = list(model.named_parameters())
+            records: List[EpochRecord] = []
+            start = clock.snapshot()
+            for epoch in range(self.max_epochs):
+                model.train()
+                before = clock.snapshot()
+                epoch_losses = []
+                iters = [iter(self._iterate(loader)) for loader in train_loaders]
+                while True:
+                    group0 = _take(iters[0], accum)
+                    if not group0:
+                        break
+                    k = len(group0)
+                    step_losses = []
+                    # Shadow replicas first: their gradients must be staged
+                    # before replica 0's synchronised backward fires hooks.
+                    for r in range(1, world):
+                        with use_device(shadows[r - 1]):
+                            group_r = _take(iters[r], k)
+                            with ddp.no_sync():
+                                for i, (inputs, labels) in enumerate(group_r):
+                                    loss = shadow_micro(inputs, labels, i == 0)
+                                    step_losses.append(loss.item() * accum
+                                                       if accum > 1
+                                                       else loss.item())
+                            ddp.stage_remote_grads(r, collect_grads(named))
+                    for i, (inputs, labels) in enumerate(group0):
+                        sync_ctx = (ddp.no_sync()
+                                    if world > 1 and i < k - 1
+                                    else nullcontext())
+                        with sync_ctx:
+                            loss = step(inputs, labels, i == 0)
+                        step_losses.append(loss.item() * accum if accum > 1
+                                           else loss.item())
+                    with clock.phase("update"):
+                        ddp.finish_backward()
+                        optimizer.step()
+                    epoch_losses.append(float(np.mean(step_losses)))
+                train_delta = before.delta(clock)
+
+                before_eval = clock.snapshot()
+                val_loss, val_acc = self._evaluate(model, val_loader)
+                eval_delta = before_eval.delta(clock)
+                records.append(
+                    EpochRecord(
+                        epoch=epoch,
+                        train_time=train_delta.elapsed,
+                        eval_time=eval_delta.elapsed,
+                        phase_times=train_delta.phase_elapsed,
+                        train_loss=float(np.mean(epoch_losses)),
+                        val_loss=val_loss,
+                        val_acc=val_acc,
+                    )
+                )
+                scheduler.step(val_loss)
+                # The paper's stopping rule: LR decayed to 1e-6.
+                if optimizer.lr <= self.config.min_lr:
+                    break
+
+            _, test_acc = self._evaluate(model, test_loader)
+            self.final_model = model
+            total = start.delta(clock).elapsed
+            return RunResult(
+                test_acc=test_acc,
+                epochs=records,
+                peak_memory=self.device.memory.peak,
+                gpu_utilization=clock.utilization(),
+                total_time=total,
+            )

@@ -121,3 +121,54 @@ class TestMemoryCounterTrack:
         trace = json.loads(to_chrome_trace(device.profiler.records))
         counter = _counter_events(trace)[0]
         assert counter["args"]["used_mb"] == pytest.approx(buf.nbytes / 1e6)
+
+
+class TestFabricLinkTracks:
+    @pytest.fixture()
+    def comm_device(self):
+        import numpy as np
+
+        from repro.dist import Communicator
+
+        device = Device()
+        device.profiler.enabled = True
+        comm = Communicator(3, device=device, record_transfers=True)
+        comm.all_reduce([np.ones(64, np.float32) for _ in range(3)],
+                        algorithm="ring")
+        comm.synchronize()
+        return device, comm
+
+    def test_fabric_process_with_one_track_per_link(self, comm_device):
+        device, comm = comm_device
+        trace = json.loads(
+            to_chrome_trace(device.profiler.records, fabric=comm.fabric)
+        )
+        meta = [e for e in trace["traceEvents"] if e["ph"] == "M"]
+        process = [e for e in meta if e["name"] == "process_name"]
+        assert len(process) == 1
+        assert "interconnect" in process[0]["args"]["name"]
+        links = {e["args"]["name"] for e in meta if e["name"] == "thread_name"
+                 and e["pid"] == process[0]["pid"]}
+        # Ring over 3 replicas uses every directed ring edge.
+        assert links == {"link 0->1", "link 1->2", "link 2->0"}
+
+    def test_transfer_events_carry_bytes_and_endpoints(self, comm_device):
+        device, comm = comm_device
+        trace = json.loads(
+            to_chrome_trace(device.profiler.records, fabric=comm.fabric)
+        )
+        transfers = [e for e in _kernel_events(trace) if e.get("cat") == "fabric"]
+        assert len(transfers) == len(comm.fabric.transfers)
+        for event in transfers:
+            assert event["args"]["bytes"] > 0
+            assert event["dur"] > 0
+            assert event["args"]["src"] != event["args"]["dst"]
+
+    def test_non_recording_fabric_adds_nothing(self, comm_device):
+        device, _ = comm_device
+        from repro.device import Fabric
+
+        trace = json.loads(
+            to_chrome_trace(device.profiler.records, fabric=Fabric(2))
+        )
+        assert not [e for e in trace["traceEvents"] if e["pid"] == 1]

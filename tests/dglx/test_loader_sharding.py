@@ -1,0 +1,71 @@
+"""Per-replica sharding in the DGL-style GraphDataLoader."""
+
+import numpy as np
+import pytest
+
+from repro.dglx import GraphDataLoader
+from repro.graph import GraphSample
+
+
+def _graphs(n):
+    edge = np.array([[0], [1]])
+    return [GraphSample(edge, np.ones((2, 3), np.float32), i) for i in range(n)]
+
+
+def _labels(loader):
+    return [int(y) for _, labels in loader for y in labels]
+
+
+class TestGraphDataLoaderSharding:
+    def test_default_is_unsharded(self):
+        loader = GraphDataLoader(_graphs(10), batch_size=4)
+        assert loader.world_size == 1
+        assert _labels(loader) == list(range(10))
+
+    @pytest.mark.parametrize("world", [2, 3, 4])
+    def test_identically_seeded_replicas_get_disjoint_equal_shards(self, world):
+        graphs = _graphs(21)
+        shards = []
+        for rank in range(world):
+            loader = GraphDataLoader(graphs, batch_size=2, shuffle=True,
+                                     rng=np.random.default_rng(7),
+                                     rank=rank, world_size=world)
+            shards.append(_labels(loader))
+        assert {len(s) for s in shards} == {21 // world}
+        seen = [y for s in shards for y in s]
+        assert len(seen) == len(set(seen))
+
+    def test_sharding_is_seed_deterministic(self):
+        graphs = _graphs(16)
+        first = _labels(GraphDataLoader(graphs, 4, shuffle=True,
+                                        rng=np.random.default_rng(3),
+                                        rank=1, world_size=4))
+        second = _labels(GraphDataLoader(graphs, 4, shuffle=True,
+                                         rng=np.random.default_rng(3),
+                                         rank=1, world_size=4))
+        assert first == second
+
+    def test_remainder_graphs_dropped_before_sharding(self):
+        graphs = _graphs(10)
+        seen = []
+        for rank in range(3):
+            seen += _labels(GraphDataLoader(graphs, 2, rank=rank,
+                                            world_size=3))
+        assert sorted(seen) == list(range(9))
+
+    def test_len_counts_shard_batches(self):
+        loader = GraphDataLoader(_graphs(20), batch_size=4,
+                                 rank=0, world_size=2)
+        assert len(loader) == 3
+        loader = GraphDataLoader(_graphs(20), batch_size=4, drop_last=True,
+                                 rank=0, world_size=2)
+        assert len(loader) == 2
+
+    def test_empty_shard_rejected(self):
+        with pytest.raises(ValueError, match="empty shard"):
+            GraphDataLoader(_graphs(3), batch_size=2, rank=0, world_size=4)
+
+    def test_drop_last_zero_batches_rejected_per_shard(self):
+        with pytest.raises(ValueError, match="would yield zero batches"):
+            GraphDataLoader(_graphs(30), batch_size=16, drop_last=True,
+                            rank=0, world_size=2)

@@ -1,0 +1,47 @@
+"""BatchConfig: effective-global-batch factoring and validation."""
+
+import pytest
+
+from repro.dist import BatchConfig
+
+
+class TestBatchConfig:
+    def test_global_batch_is_product_of_factors(self):
+        cfg = BatchConfig(micro_batch_size=32, grad_accumulation=2, replicas=4)
+        assert cfg.replica_batch_size == 64
+        assert cfg.global_batch_size == 256
+
+    def test_defaults_are_single_replica_single_micro(self):
+        cfg = BatchConfig(128)
+        assert cfg.grad_accumulation == 1
+        assert cfg.replicas == 1
+        assert cfg.global_batch_size == 128
+
+    @pytest.mark.parametrize("field", ["micro_batch_size", "grad_accumulation",
+                                       "replicas"])
+    @pytest.mark.parametrize("bad", [0, -1, 1.5])
+    def test_rejects_non_positive_or_non_int(self, field, bad):
+        kwargs = {"micro_batch_size": 8, "grad_accumulation": 1, "replicas": 1}
+        kwargs[field] = bad
+        with pytest.raises(ValueError):
+            BatchConfig(**kwargs)
+
+    def test_for_global_batch_splits_evenly(self):
+        cfg = BatchConfig.for_global_batch(256, replicas=8)
+        assert cfg.micro_batch_size == 32
+        assert cfg.global_batch_size == 256
+        cfg = BatchConfig.for_global_batch(256, replicas=4, grad_accumulation=2)
+        assert cfg.micro_batch_size == 32
+        assert cfg.global_batch_size == 256
+
+    def test_for_global_batch_rejects_uneven_split(self):
+        with pytest.raises(ValueError):
+            BatchConfig.for_global_batch(100, replicas=3)
+        with pytest.raises(ValueError):
+            BatchConfig.for_global_batch(4, replicas=8)
+
+    def test_frozen_and_printable(self):
+        cfg = BatchConfig(16, 2, 4)
+        with pytest.raises(Exception):
+            cfg.replicas = 8
+        assert "128" in str(cfg) and "4 replicas" in str(cfg)

@@ -1,0 +1,95 @@
+"""Interconnect fabric: link timing, contention, recording."""
+
+import pytest
+
+from repro.device import Fabric, Link, LinkSpec, NVLINK, PCIE_P2P
+
+
+class TestLinkSpec:
+    def test_transfer_time_is_latency_plus_bytes_over_bandwidth(self):
+        spec = LinkSpec(name="test", bandwidth=1e9, latency=1e-6)
+        assert spec.transfer_time(0) == pytest.approx(1e-6)
+        assert spec.transfer_time(1e9) == pytest.approx(1.0 + 1e-6)
+
+    def test_negative_bytes_rejected(self):
+        with pytest.raises(ValueError):
+            NVLINK.transfer_time(-1)
+
+    def test_profiles_ordered_sensibly(self):
+        # NVLink is the fat, low-latency pipe; PCIe P2P the thin one.
+        assert NVLINK.bandwidth > PCIE_P2P.bandwidth
+        assert NVLINK.latency < PCIE_P2P.latency
+
+
+class TestLink:
+    def test_occupy_advances_free_at_and_busy(self):
+        link = Link(0, 1, LinkSpec(name="t", bandwidth=1e9, latency=0.0))
+        start, end = link.occupy(1000, earliest=0.0)
+        assert (start, end) == (0.0, pytest.approx(1e-6))
+        assert link.free_at == end
+        assert link.busy == pytest.approx(1e-6)
+        assert link.bytes_moved == 1000
+
+    def test_back_to_back_transfers_serialise(self):
+        link = Link(0, 1, LinkSpec(name="t", bandwidth=1e9, latency=0.0))
+        _, first_end = link.occupy(1000, earliest=0.0)
+        start, _ = link.occupy(1000, earliest=0.0)
+        assert start == first_end
+
+    def test_gap_between_transfers_is_not_busy(self):
+        link = Link(0, 1, LinkSpec(name="t", bandwidth=1e9, latency=0.0))
+        link.occupy(1000, earliest=0.0)
+        start, _ = link.occupy(1000, earliest=5.0)
+        assert start == 5.0
+        assert link.busy == pytest.approx(2e-6)
+
+
+class TestFabric:
+    def test_links_created_on_first_use_and_directed(self):
+        fabric = Fabric(4)
+        forward = fabric.link(0, 1)
+        backward = fabric.link(1, 0)
+        assert forward is not backward
+        assert fabric.link(0, 1) is forward
+        assert len(fabric.links) == 2
+
+    def test_rejects_out_of_range_and_self_links(self):
+        fabric = Fabric(2)
+        with pytest.raises(ValueError):
+            fabric.link(0, 2)
+        with pytest.raises(ValueError):
+            fabric.link(1, 1)
+        with pytest.raises(ValueError):
+            Fabric(0)
+
+    def test_contention_accounted_when_link_queues(self):
+        fabric = Fabric(2, spec=LinkSpec(name="t", bandwidth=1e9, latency=0.0))
+        fabric.transfer(0, 1, 1_000_000, earliest=0.0)
+        start, _ = fabric.transfer(0, 1, 1_000_000, earliest=0.0)
+        assert start == pytest.approx(1e-3)
+        assert fabric.contention_seconds == pytest.approx(1e-3)
+
+    def test_recording_keeps_transfers_with_labels(self):
+        fabric = Fabric(2, record=True)
+        fabric.transfer(0, 1, 64, earliest=0.0, label="bucket0")
+        fabric.transfer(1, 0, 64, earliest=0.0, label="bucket1")
+        assert [t.label for t in fabric.transfers] == ["bucket0", "bucket1"]
+        assert fabric.transfers[0].nbytes == 64
+        assert fabric.stats().transfers == 2
+
+    def test_stats_aggregate_links(self):
+        fabric = Fabric(3)
+        fabric.transfer(0, 1, 100, earliest=0.0)
+        fabric.transfer(1, 2, 200, earliest=0.0)
+        stats = fabric.stats()
+        assert stats.bytes_moved == 300
+        assert stats.links_used == 2
+        assert stats.busy_seconds > 0
+
+    def test_reset_clears_timelines(self):
+        fabric = Fabric(2, record=True)
+        fabric.transfer(0, 1, 100, earliest=0.0)
+        fabric.reset()
+        assert fabric.links == []
+        assert fabric.transfers == []
+        assert fabric.stats().bytes_moved == 0

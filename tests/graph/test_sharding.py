@@ -1,0 +1,61 @@
+"""Pure sharding helpers: disjoint, equal-sized, drop-remainder shards."""
+
+import numpy as np
+import pytest
+
+from repro.graph import check_shard, shard_order
+
+
+class TestShardOrder:
+    def test_world_one_returns_order_unchanged(self):
+        order = np.arange(7)
+        assert shard_order(order, 0, 1) is order
+
+    @pytest.mark.parametrize("n,world", [(10, 2), (10, 3), (17, 4), (8, 8)])
+    def test_shards_are_disjoint_equal_and_cover_the_truncated_order(
+        self, n, world
+    ):
+        order = np.random.default_rng(0).permutation(n)
+        shards = [shard_order(order, rank, world) for rank in range(world)]
+        assert all(len(s) == n // world for s in shards)
+        flat = np.concatenate(shards)
+        assert len(set(flat.tolist())) == len(flat)
+        assert set(flat.tolist()) == set(order[: (n // world) * world].tolist())
+
+    def test_remainder_graphs_are_dropped(self):
+        order = np.arange(10)
+        shards = [shard_order(order, rank, 3) for rank in range(3)]
+        assert sorted(np.concatenate(shards).tolist()) == list(range(9))
+
+    def test_same_order_gives_same_shards(self):
+        order = np.random.default_rng(3).permutation(20)
+        again = shard_order(order.copy(), 1, 4)
+        np.testing.assert_array_equal(shard_order(order, 1, 4), again)
+
+
+class TestCheckShard:
+    def test_returns_shard_length(self):
+        assert check_shard(10, 2, False, 0, 3) == 3
+        assert check_shard(10, 2, False, 0, 1) == 10
+
+    def test_rejects_bad_rank_or_world(self):
+        with pytest.raises(ValueError):
+            check_shard(10, 2, False, 0, 0)
+        with pytest.raises(ValueError):
+            check_shard(10, 2, False, 2, 2)
+        with pytest.raises(ValueError):
+            check_shard(10, 2, False, -1, 2)
+
+    def test_empty_shard_rejected_only_when_distributed(self):
+        # An unsharded loader over zero graphs stays legal (the trainers
+        # build empty val loaders when train_fraction=1.0).
+        assert check_shard(0, 4, False, 0, 1) == 0
+        with pytest.raises(ValueError, match="empty shard"):
+            check_shard(3, 2, False, 0, 4)
+
+    def test_drop_last_zero_batches_message_matches_unsharded_error(self):
+        with pytest.raises(ValueError, match="would yield zero batches"):
+            check_shard(10, 16, True, 0, 1)
+        with pytest.raises(ValueError, match="would yield zero batches"):
+            check_shard(30, 16, True, 1, 2)
+        assert check_shard(32, 16, True, 1, 2) == 16

@@ -106,6 +106,38 @@ def test_parity_flip_is_exact_gated(tmp_path):
     assert tool.main(["--baseline", base, "--current", str(cur)]) == 1
 
 
+def test_scaling_fixture_regressions_flagged(capsys):
+    """The scaling fixture flips the beat-the-baseline and parity gates
+    and drops the speedup by ~20%."""
+    base = os.path.join(REPO_ROOT, "BENCH_scaling.json")
+    bad = os.path.join(FIXTURE_DIR, "BENCH_scaling.json")
+    rc = tool.main(["--baseline", base, "--current", bad])
+    assert rc == 1
+    out = capsys.readouterr().out
+    assert "beats_dataparallel" in out
+    assert "speedup_vs_dp" in out
+    assert "loss_bitwise_identical" in out
+
+
+def test_scaling_parity_flip_is_exact_gated(tmp_path):
+    base = os.path.join(REPO_ROOT, "BENCH_scaling.json")
+    doc = json.load(open(base))
+    assert doc["parity"][0]["loss_bitwise_identical"] is True
+    doc["parity"][0]["loss_bitwise_identical"] = False
+    cur = tmp_path / "BENCH_scaling.json"
+    cur.write_text(json.dumps(doc))
+    assert tool.main(["--baseline", base, "--current", str(cur)]) == 1
+
+
+def test_scaling_missing_replica_cell_is_a_regression(tmp_path):
+    base = os.path.join(REPO_ROOT, "BENCH_scaling.json")
+    doc = json.load(open(base))
+    doc["cells"] = doc["cells"][1:]
+    cur = tmp_path / "BENCH_scaling.json"
+    cur.write_text(json.dumps(doc))
+    assert tool.main(["--baseline", base, "--current", str(cur)]) == 1
+
+
 def test_usage_error_on_missing_baseline_dir(tmp_path):
     rc = tool.main(["--baseline-dir", str(tmp_path), "--current-dir", str(tmp_path)])
     assert rc == 2

@@ -33,7 +33,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 #: Bench files the directory mode looks for.
 BENCH_FILES = ("BENCH_serving.json", "BENCH_compile.json", "BENCH_faults.json",
-               "BENCH_overlap.json", "BENCH_scale.json")
+               "BENCH_overlap.json", "BENCH_scale.json", "BENCH_scaling.json")
 
 #: Gated metrics per experiment kind: (metric, direction, absolute floor).
 #: ``lower`` means a larger current value is a regression; ``higher`` the
@@ -76,6 +76,19 @@ SCALE_PARITY_METRICS = (
 SCALE_PARTITIONED_METRICS = (
     ("under_cap", "exact", 0.0),
     ("test_acc", "higher", 0.01),
+)
+#: DDP scaling cells are deterministic (simulated clock + modelled
+#: fabric): the beat-the-baseline boolean and collective count gate
+#: exactly, the speedup within the relative tolerance so cost-model
+#: tweaks that shift both curves together do not trip the gate.
+SCALING_CELL_METRICS = (
+    ("beats_dataparallel", "exact", 0.0),
+    ("collectives", "exact", 0.0),
+    ("speedup_vs_dp", "higher", 0.05),
+)
+SCALING_PARITY_METRICS = (
+    ("loss_bitwise_identical", "exact", 0.0),
+    ("test_acc_equal", "exact", 0.0),
 )
 
 
@@ -203,6 +216,30 @@ def check_scale(baseline: Dict, current: Dict,
     return out
 
 
+def check_scaling(baseline: Dict, current: Dict,
+                  tolerance: float) -> List[Regression]:
+    sections = (
+        ("cells", SCALING_CELL_METRICS,
+         lambda c: (c["framework"], c["model"], c["replicas"])),
+        ("parity", SCALING_PARITY_METRICS,
+         lambda c: (c["framework"], c["model"], c["mode"])),
+    )
+    out: List[Regression] = []
+    for section, metrics, key_of in sections:
+        base_cells = {key_of(c): c for c in baseline.get(section, [])}
+        cur_cells = {key_of(c): c for c in current.get(section, [])}
+        for key, cell in sorted(base_cells.items()):
+            label = "scaling.%s[%s]" % (
+                section, "/".join(str(k) for k in key))
+            if key not in cur_cells:
+                out.append(Regression(label, "cell", "present", None,
+                                      "cell missing from current run"))
+                continue
+            out.extend(_check_metrics(label, metrics, cell,
+                                      cur_cells[key], tolerance))
+    return out
+
+
 def check_serving(baseline: List[Dict], current: List[Dict],
                   tolerance: float) -> List[Regression]:
     out: List[Regression] = []
@@ -258,6 +295,8 @@ def check_file(name: str, baseline: object, current: object,
         return check_overlap(baseline, current, tolerance)
     if kind == "scale":
         return check_scale(baseline, current, tolerance)
+    if kind == "scaling":
+        return check_scaling(baseline, current, tolerance)
     raise ValueError(f"{name}: unrecognised bench document (experiment={kind!r})")
 
 
