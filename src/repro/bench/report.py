@@ -12,6 +12,7 @@ Regenerates any of the paper's experiments from a shell, without pytest::
     python -m repro.bench.report kernels --models gcn --compiled --top 12
     python -m repro.bench.report faults --fault-rates 0 0.002 0.01 --json BENCH_faults.json
     python -m repro.bench.report overlap --models gcn gin --json BENCH_overlap.json
+    python -m repro.bench.report ops --json BENCH_ops.json
 
 Every subcommand prints the paper-style table (and, where it helps, an
 ASCII chart); ``--json``/``--csv`` write machine-readable copies.
@@ -56,7 +57,7 @@ from repro.models import MODEL_NAMES
 
 EXPERIMENTS = (
     "table1", "table4", "table5", "fig1", "fig2", "fig3", "fig4", "fig5", "fig6",
-    "serve", "compile", "kernels", "faults", "overlap",
+    "serve", "compile", "kernels", "faults", "overlap", "ops",
 )
 
 
@@ -446,6 +447,16 @@ def _run_kernels(args) -> None:
                 )
 
 
+def _run_ops(args) -> int:
+    """Operation-level roofline attribution (full CLI in repro.bench.ops)."""
+    from repro.bench import ops as ops_bench
+
+    argv = ["--report"]
+    if args.json:
+        argv += ["--out", args.json]
+    return ops_bench.main(argv)
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     args = _parser().parse_args(argv)
     if args.experiment == "table1":
@@ -476,6 +487,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         _run_faults(args)
     elif args.experiment == "overlap":
         return _run_overlap(args)
+    elif args.experiment == "ops":
+        return _run_ops(args)
     return 0
 
 

@@ -159,6 +159,71 @@ def servings_from_json(text: str) -> List[ServingResult]:
     return [serving_from_dict(d) for d in json.loads(text)]
 
 
+# ----------------------------------------------------------------------
+# repro.bench.ops documents (BENCH_ops.json)
+# ----------------------------------------------------------------------
+#: Required cell fields and their JSON types; ``bound`` is additionally
+#: constrained to the three roofline classes.
+OPS_CELL_SCHEMA = {
+    "op": str,
+    "pack": str,
+    "mode": str,
+    "shape": str,
+    "n_nodes": int,
+    "n_edges": int,
+    "feat_dim": int,
+    "launches": int,
+    "flops": (int, float),
+    "bytes": (int, float),
+    "device_time": (int, float),
+    "wall_time": (int, float),
+    "intensity": (int, float),
+    "bound": str,
+    "frac_peak_flops": (int, float),
+    "frac_peak_bandwidth": (int, float),
+}
+
+_BOUND_CLASSES = ("launch", "bandwidth", "compute")
+
+
+def validate_ops_document(doc: Dict) -> Dict:
+    """Validate a BENCH_ops.json document against the cell schema.
+
+    Raises :class:`ValueError` naming the first offending cell and field;
+    returns the document unchanged when valid, so this composes as a
+    pass-through in the to/from JSON round-trip.
+    """
+    if doc.get("experiment") != "ops":
+        raise ValueError(f"not an ops document (experiment={doc.get('experiment')!r})")
+    if not isinstance(doc.get("cells"), list):
+        raise ValueError("ops document has no 'cells' list")
+    for i, cell in enumerate(doc["cells"]):
+        for field, types in OPS_CELL_SCHEMA.items():
+            if field not in cell:
+                raise ValueError(f"ops cell {i} is missing field {field!r}")
+            if not isinstance(cell[field], types):
+                raise ValueError(
+                    f"ops cell {i} field {field!r} has type "
+                    f"{type(cell[field]).__name__}, expected {types}"
+                )
+        if cell["bound"] not in _BOUND_CLASSES:
+            raise ValueError(
+                f"ops cell {i} has bound={cell['bound']!r}, "
+                f"expected one of {_BOUND_CLASSES}"
+            )
+    return doc
+
+
+def ops_to_json(doc: Dict) -> str:
+    """Serialise an ops document (validated) to JSON."""
+    return json.dumps(validate_ops_document(doc), indent=2)
+
+
+def ops_from_json(text: str) -> Dict:
+    """Parse + validate a BENCH_ops.json document."""
+    return validate_ops_document(json.loads(text))
+
+
 def experiments_to_csv(results: Iterable[ExperimentResult]) -> str:
     """Flat CSV of the summary columns (one row per experiment cell)."""
     buffer = io.StringIO()

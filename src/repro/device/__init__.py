@@ -22,6 +22,15 @@ from repro.device.kernel import KernelRecord, Profiler
 from repro.device.memory import MemoryPool, OutOfMemoryError
 from repro.device.multigpu import DataParallelPlan, charge_iteration_overhead
 from repro.device.prefetch import PrefetchLoader, prefetch_streams
+from repro.device.roofline import (
+    BOUND_CLASSES,
+    RooflinePoint,
+    bound_histogram,
+    classify_kernel,
+    classify_records,
+    classify_transfer,
+    roofline_attribution,
+)
 from repro.device.streams import DEFAULT_STREAM_ID, Event, Stream
 from repro.device.timeline import to_chrome_trace, write_chrome_trace
 from repro.device.trace_analysis import (
@@ -71,4 +80,11 @@ __all__ = [
     "launch_bound_fraction",
     "duration_percentiles",
     "overlap_bound",
+    "BOUND_CLASSES",
+    "RooflinePoint",
+    "bound_histogram",
+    "classify_kernel",
+    "classify_records",
+    "classify_transfer",
+    "roofline_attribution",
 ]

@@ -334,12 +334,37 @@ class Device:
         Inside an :meth:`offload` block the copy is enqueued on the block's
         copy stream, sequenced after the worker stream's pending work — the
         double-buffered H2D pattern of a prefetching loader.
+
+        Copies are recorded in the profiler as ``memcpy_h2d`` with
+        ``flops=0`` and ``bytes_moved=nbytes`` so operation-level
+        attribution (:mod:`repro.device.roofline`) sees transfer traffic —
+        nvprof reports ``[CUDA memcpy HtoD]`` rows the same way.
         """
+        duration = self.spec.transfer_time(nbytes)
         if self._offload is not None:
             copy = self._offload_copy or self._offload
-            copy.enqueue(self.spec.transfer_time(nbytes), after=self._offload.ready)
+            timestamp = copy.enqueue(duration, after=self._offload.ready)
+            self._record_transfer(nbytes, duration, timestamp, copy.id)
             return
-        self.clock.advance_host(self.spec.transfer_time(nbytes))
+        self.clock.advance_host(duration)
+        self._record_transfer(nbytes, duration, self.clock.elapsed, self.default_stream.id)
+
+    def _record_transfer(
+        self, nbytes: float, duration: float, timestamp: float, stream_id: int
+    ) -> None:
+        self.profiler.record(
+            KernelRecord(
+                name="memcpy_h2d",
+                scope=tuple(self._scope_stack),
+                duration=duration,
+                flops=0.0,
+                bytes_moved=float(nbytes),
+                timestamp=timestamp,
+                memory=self.memory.current,
+                stream=stream_id,
+                phase=self.clock.current_phase or "",
+            )
+        )
 
     # ------------------------------------------------------------------
     # scopes (used by nn.Module for Fig. 3 layer-wise attribution)

@@ -10,6 +10,7 @@ of microseconds).
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Tuple
 
 
 @dataclass(frozen=True)
@@ -41,6 +42,31 @@ class GPUSpec:
     pcie_bandwidth: float = 12e9
     pcie_latency: float = 10e-6
 
+    @property
+    def ridge_point(self) -> float:
+        """Arithmetic intensity (FLOP/byte) where the roofline legs meet.
+
+        Independent of the per-kernel ``efficiency`` factor because that
+        factor derates both legs equally; below this intensity a kernel is
+        bandwidth-limited, above it compute-limited.
+        """
+        return self.peak_flops / self.mem_bandwidth
+
+    def roofline_times(
+        self, flops: float, bytes_moved: float, efficiency: float = 1.0
+    ) -> "Tuple[float, float]":
+        """Return the ``(compute, memory)`` legs of the roofline, in seconds.
+
+        The raw per-leg durations *before* the ``min_kernel_time`` floor;
+        :meth:`kernel_time` takes their max, and the roofline classifier
+        (:mod:`repro.device.roofline`) compares them to name the bound.
+        """
+        if not 0.0 < efficiency <= 1.0:
+            raise ValueError("efficiency must be in (0, 1]")
+        compute_leg = flops / (self.peak_flops * efficiency)
+        memory_leg = bytes_moved / (self.mem_bandwidth * efficiency)
+        return compute_leg, memory_leg
+
     def kernel_time(self, flops: float, bytes_moved: float, efficiency: float = 1.0) -> float:
         """Return the device-side duration of a kernel via a roofline model.
 
@@ -50,10 +76,7 @@ class GPUSpec:
         dense BLAS kernels run near the roofline, sparse/indirect kernels
         (scatter, GSpMM) achieve a fraction of it.
         """
-        if not 0.0 < efficiency <= 1.0:
-            raise ValueError("efficiency must be in (0, 1]")
-        compute_bound = flops / (self.peak_flops * efficiency)
-        memory_bound = bytes_moved / (self.mem_bandwidth * efficiency)
+        compute_bound, memory_bound = self.roofline_times(flops, bytes_moved, efficiency)
         return max(compute_bound, memory_bound, self.min_kernel_time)
 
     def transfer_time(self, nbytes: float) -> float:

@@ -1,0 +1,171 @@
+"""Roofline queries: classify kernels as launch-, bandwidth- or compute-bound.
+
+The source paper attributes framework performance gaps to individual
+operations, and the op-level benchmarking literature (Magnifying Glass,
+arXiv 2211.03021; Operation-Level Performance Benchmarking, arXiv
+2207.09955) makes that systematic: place every kernel on the device's
+roofline and name the resource that bounds it.  This module provides that
+classification for the simulated device:
+
+* **launch-bound** — the host-side dispatch cost is at least as large as
+  the device-side body; making the kernel itself faster cannot help
+  (the regime the paper measures for GNN training on small graph
+  batches, and the one ``repro.compile`` fusion attacks).
+* **bandwidth-bound** — the memory-traffic leg of the roofline dominates:
+  arithmetic intensity sits left of the ridge point.
+* **compute-bound** — the FLOP leg dominates: intensity at or right of
+  the ridge point (ties go to compute, so an op *exactly at* the ridge
+  classifies deterministically).
+
+All inputs are the same FLOP / byte counts the cost model already charges
+per launch, so classification is exact and deterministic — CI gates on it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+from repro.device.gpu import GPUSpec, kernel_efficiency
+from repro.device.kernel import KernelRecord
+
+#: The three bound classes, in "how to fix it" order.
+BOUND_CLASSES = ("launch", "bandwidth", "compute")
+
+
+def classify_kernel(
+    spec: GPUSpec, flops: float, bytes_moved: float, efficiency: float = 1.0
+) -> str:
+    """Classify one kernel launch against the roofline of ``spec``.
+
+    The device-side body is ``max(compute_leg, memory_leg,
+    min_kernel_time)`` — exactly :meth:`GPUSpec.kernel_time`.  When that
+    body does not exceed the host launch overhead the launch is
+    *launch-bound* regardless of its intensity: a zero-FLOP, zero-byte
+    kernel lands here via the ``min_kernel_time`` floor.  Otherwise the
+    longer roofline leg names the bound, with ties going to ``compute``.
+    """
+    compute_leg, memory_leg = spec.roofline_times(flops, bytes_moved, efficiency)
+    body = max(compute_leg, memory_leg, spec.min_kernel_time)
+    if body <= spec.launch_overhead:
+        return "launch"
+    return "compute" if compute_leg >= memory_leg else "bandwidth"
+
+
+def classify_transfer(spec: GPUSpec, nbytes: float) -> str:
+    """Classify a PCIe copy: latency- (``launch``) or bandwidth-bound.
+
+    Copies do no arithmetic, so ``compute`` is impossible; a transfer is
+    launch-bound while the fixed per-transfer latency is at least the
+    wire time (tiny H2D copies), bandwidth-bound beyond that.
+    """
+    wire = nbytes / spec.pcie_bandwidth
+    return "launch" if wire <= spec.pcie_latency else "bandwidth"
+
+
+def classify_records(spec: GPUSpec, records: Sequence[KernelRecord]) -> str:
+    """Classify an *operation* — a short sequence of launches — as a whole.
+
+    The cell-level generalisation of :func:`classify_kernel`: if the host
+    spent at least as long dispatching the launches as the device spent
+    executing their bodies, the op is launch-bound (faster kernels will
+    not move it).  Otherwise the dominant roofline leg, summed per launch
+    at each kernel's achieved efficiency, names the bound.  ``memcpy_*``
+    records are placed on the PCIe roofline instead (wire time as the
+    memory leg, per-transfer latency as the dispatch cost), keeping this
+    consistent with both :func:`classify_kernel` and
+    :func:`classify_transfer` for a single record.
+    """
+    if not records:
+        raise ValueError("cannot classify an empty record sequence")
+    dispatch = 0.0
+    body = 0.0
+    compute_t = 0.0
+    memory_t = 0.0
+    for r in records:
+        if r.name.startswith("memcpy"):
+            wire = r.bytes_moved / spec.pcie_bandwidth
+            dispatch += spec.pcie_latency
+            body += wire
+            memory_t += wire
+            continue
+        dispatch += spec.launch_overhead
+        body += max(r.duration, spec.min_kernel_time)
+        c, m = spec.roofline_times(r.flops, r.bytes_moved, kernel_efficiency(r.name))
+        compute_t += c
+        memory_t += m
+    if dispatch >= body:
+        return "launch"
+    return "compute" if compute_t >= memory_t else "bandwidth"
+
+
+@dataclass(frozen=True)
+class RooflinePoint:
+    """One kernel family placed on the roofline.
+
+    ``achieved_*`` rates divide the charged FLOPs / bytes by the *wall*
+    time including the host launch overhead per launch, so a launch-bound
+    kernel shows the small achieved fraction the paper's profiles show;
+    ``frac_peak_*`` normalise by the device peaks.
+    """
+
+    name: str
+    launches: int
+    flops: float
+    bytes_moved: float
+    device_time: float
+    bound: str
+
+    #: FLOPs per byte of the kernel's aggregate work (0 for pure copies).
+    intensity: float
+    achieved_flops: float
+    achieved_bandwidth: float
+    frac_peak_flops: float
+    frac_peak_bandwidth: float
+
+
+def roofline_attribution(
+    spec: GPUSpec, records: Sequence[KernelRecord]
+) -> List[RooflinePoint]:
+    """Aggregate records per kernel name into roofline points.
+
+    Sorted by total wall time (device body + launch overhead) descending,
+    the order a bottleneck report wants.
+    """
+    grouped: Dict[str, List[KernelRecord]] = {}
+    for r in records:
+        grouped.setdefault(r.name, []).append(r)
+    points = []
+    for name, group in grouped.items():
+        launches = len(group)
+        flops = sum(r.flops for r in group)
+        nbytes = sum(r.bytes_moved for r in group)
+        device_time = sum(r.duration for r in group)
+        wall = device_time + launches * spec.launch_overhead
+        points.append(
+            RooflinePoint(
+                name=name,
+                launches=launches,
+                flops=flops,
+                bytes_moved=nbytes,
+                device_time=device_time,
+                bound=classify_records(spec, group),
+                intensity=flops / nbytes if nbytes else 0.0,
+                achieved_flops=flops / wall,
+                achieved_bandwidth=nbytes / wall,
+                frac_peak_flops=(flops / wall) / spec.peak_flops,
+                frac_peak_bandwidth=(nbytes / wall) / spec.mem_bandwidth,
+            )
+        )
+    points.sort(
+        key=lambda p: p.device_time + p.launches * spec.launch_overhead, reverse=True
+    )
+    return points
+
+
+def bound_histogram(points: Sequence[RooflinePoint]) -> Dict[str, int]:
+    """Count roofline points per bound class (all three keys present)."""
+    out = {cls: 0 for cls in BOUND_CLASSES}
+    for p in points:
+        out[p.bound] += 1
+    return out

@@ -10,10 +10,29 @@ from __future__ import annotations
 import numpy as np
 
 from repro.device import current_device
-from repro.tensor.ops_sparse import CSRGraph
+from repro.tensor.ops_scatter import segment_sum
+from repro.tensor.ops_sparse import CSRGraph, gspmm
 from repro.tensor.tensor import Tensor, launch_backward, make_op
 
 _F32 = 4
+
+
+def spmm(graph: CSRGraph, x: Tensor) -> Tensor:
+    """Sum-aggregate source features onto destinations, DGL-style.
+
+    One fused GSpMM launch (message + aggregate in a single kernel) — the
+    lowering the paper credits for DGL's launch-count advantage, and the
+    counterpart of the two-launch gather + scatter composition in
+    :func:`repro.pygx.kernels.spmm`.  Exposed here so the op-level
+    microbench (:mod:`repro.bench.ops`) times each pack's own lowering
+    through one wrapper surface.
+    """
+    return gspmm(graph, x)
+
+
+def reduce_rows(src: Tensor, offsets: "np.ndarray") -> Tensor:
+    """Pool contiguous row segments (DGL's segment-reduce pooling path)."""
+    return segment_sum(src, offsets)
 
 
 def gsddmm_u_add_v(graph: CSRGraph, src_feat: Tensor, dst_feat: Tensor) -> Tensor:

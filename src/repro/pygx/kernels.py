@@ -1,0 +1,35 @@
+"""PyG-style kernel wrappers for operation-level benchmarking.
+
+The microbench harness (:mod:`repro.bench.ops`) times *each framework's
+own lowering* of the common GNN operations, framework-independently —
+the protocol of the op-level benchmarking literature (Magnifying Glass,
+arXiv 2211.03021).  For the PyG-style pack that lowering is the
+gather → message → scatter composition of :mod:`repro.pygx.message_passing`:
+SpMM is **not** one fused kernel but an ``index_select`` materialising
+per-edge source rows followed by a ``scatter_add`` — more launches and
+more edge-level traffic than the DGL-style GSpMM, which is exactly the
+gap the paper's Section IV-C attributes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.tensor import Tensor, index_rows, scatter_sum
+
+
+def spmm(edge_index: np.ndarray, x: Tensor, num_nodes: int) -> Tensor:
+    """Sum-aggregate source features onto destinations, PyG-style.
+
+    Two launches — a gather (``index_select``) that materialises the
+    ``(E, D)`` message tensor, then a ``scatter_add`` reduction — versus
+    the single fused GSpMM launch of :func:`repro.dglx.kernels.spmm`.
+    """
+    src, dst = edge_index[0], edge_index[1]
+    messages = index_rows(x, src)
+    return scatter_sum(messages, dst, num_nodes)
+
+
+def reduce_rows(src: Tensor, index: np.ndarray, dim_size: int) -> Tensor:
+    """Pool rows by an index vector (PyG's ``scatter`` pooling path)."""
+    return scatter_sum(src, index, dim_size)

@@ -33,7 +33,8 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 #: Bench files the directory mode looks for.
 BENCH_FILES = ("BENCH_serving.json", "BENCH_compile.json", "BENCH_faults.json",
-               "BENCH_overlap.json", "BENCH_scale.json", "BENCH_scaling.json")
+               "BENCH_overlap.json", "BENCH_scale.json", "BENCH_scaling.json",
+               "BENCH_ops.json")
 
 #: Gated metrics per experiment kind: (metric, direction, absolute floor).
 #: ``lower`` means a larger current value is a regression; ``higher`` the
@@ -90,6 +91,16 @@ SCALING_PARITY_METRICS = (
     ("loss_bitwise_identical", "exact", 0.0),
     ("test_acc_equal", "exact", 0.0),
 )
+#: Operation-level cells run entirely on the simulated clock, so the
+#: roofline classification and launch counts gate exactly-ish (``lower``
+#: lets launch-count *improvements* through) and the wall clock within
+#: the relative tolerance — a >10% op slowdown or any bound-class flip
+#: (e.g. a kernel sliding from bandwidth- to launch-bound) fails CI.
+OPS_METRICS = (
+    ("bound", "exact", 0.0),
+    ("launches", "lower", 0.5),
+    ("wall_time", "lower", 1e-7),
+)
 
 
 @dataclass
@@ -103,10 +114,30 @@ class Regression:
     note: str = ""
 
     def render(self) -> str:
-        detail = f"baseline={self.baseline} current={self.current}"
+        detail = f"baseline={_fmt(self.baseline)} -> current={_fmt(self.current)}"
+        delta = self._relative_delta()
+        if delta is not None:
+            detail += f"  ({delta:+.1%})"
         if self.note:
-            detail += f" ({self.note})"
-        return f"REGRESSION  {self.label}  {self.metric}: {detail}"
+            detail += f"  [{self.note}]"
+        return f"  {self.label}  {self.metric}: {detail}"
+
+    def _relative_delta(self) -> Optional[float]:
+        """Relative move of current vs baseline, when both are numeric."""
+        if isinstance(self.baseline, bool) or isinstance(self.current, bool):
+            return None
+        if not isinstance(self.baseline, (int, float)) or not isinstance(
+                self.current, (int, float)):
+            return None
+        if self.baseline == 0:
+            return None
+        return (self.current - self.baseline) / abs(self.baseline)
+
+
+def _fmt(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:.6g}"
+    return repr(value) if isinstance(value, str) else str(value)
 
 
 def _is_worse(direction: str, baseline: float, current: float,
@@ -240,6 +271,27 @@ def check_scaling(baseline: Dict, current: Dict,
     return out
 
 
+def check_ops(baseline: Dict, current: Dict, tolerance: float,
+              subset: bool = False) -> List[Regression]:
+    def by_key(doc: Dict) -> Dict[Tuple[str, str, str, str], Dict]:
+        return {(c["op"], c["pack"], c["mode"], c["shape"]): c
+                for c in doc.get("cells", [])}
+
+    base_cells, cur_cells = by_key(baseline), by_key(current)
+    out: List[Regression] = []
+    for key, cell in sorted(base_cells.items()):
+        label = "ops[%s/%s/%s/%s]" % key
+        if key not in cur_cells:
+            if subset:
+                continue  # reduced CI grid: ungenerated cells are not gated
+            out.append(Regression(label, "cell", "present", None,
+                                  "cell missing from current run"))
+            continue
+        out.extend(_check_metrics(label, OPS_METRICS, cell,
+                                  cur_cells[key], tolerance))
+    return out
+
+
 def check_serving(baseline: List[Dict], current: List[Dict],
                   tolerance: float) -> List[Regression]:
     out: List[Regression] = []
@@ -281,7 +333,7 @@ def check_faults(baseline: Dict, current: Dict,
 
 
 def check_file(name: str, baseline: object, current: object,
-               tolerance: float) -> List[Regression]:
+               tolerance: float, subset: bool = False) -> List[Regression]:
     """Dispatch on document shape: serving is a bare list, the report-CLI
     experiments carry an ``experiment`` tag."""
     if isinstance(baseline, list):
@@ -297,6 +349,8 @@ def check_file(name: str, baseline: object, current: object,
         return check_scale(baseline, current, tolerance)
     if kind == "scaling":
         return check_scaling(baseline, current, tolerance)
+    if kind == "ops":
+        return check_ops(baseline, current, tolerance, subset=subset)
     raise ValueError(f"{name}: unrecognised bench document (experiment={kind!r})")
 
 
@@ -330,6 +384,11 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                         help="directory holding freshly generated BENCH_*.json")
     parser.add_argument("--tolerance", type=float, default=0.10,
                         help="relative regression tolerance (default 0.10)")
+    parser.add_argument("--subset", action="store_true",
+                        help="gate only the cells present in the current run "
+                             "(for reduced CI grids of ops documents); cells "
+                             "missing from the current run stop being "
+                             "regressions")
     args = parser.parse_args(argv)
     if bool(args.baseline) != bool(args.current):
         parser.error("--baseline and --current must be given together")
@@ -345,7 +404,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     for name, base_path, cur_path in pairs:
         try:
             baseline, current = _load(base_path), _load(cur_path)
-            found = check_file(name, baseline, current, args.tolerance)
+            found = check_file(name, baseline, current, args.tolerance,
+                               subset=args.subset)
         except (OSError, ValueError, KeyError) as exc:
             print(f"error: {name}: {exc}", file=sys.stderr)
             return 2
@@ -353,11 +413,15 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         status = "FAIL" if found else "ok"
         print(f"{name}: {status} ({len(found)} regression(s), "
               f"tolerance {args.tolerance:.0%})")
+        # The per-metric diff, grouped under its file: every failing key
+        # with baseline vs current values (and the relative move where
+        # the metric is numeric), not just the file name.
+        for reg in found:
+            print(reg.render())
         regressions.extend(found)
 
-    for reg in regressions:
-        print(reg.render())
     if regressions:
+        print(f"{len(regressions)} regression(s) across {checked} bench file(s)")
         return 1
     print(f"all {checked} bench file(s) within tolerance")
     return 0
