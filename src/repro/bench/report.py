@@ -13,6 +13,7 @@ Regenerates any of the paper's experiments from a shell, without pytest::
     python -m repro.bench.report faults --fault-rates 0 0.002 0.01 --json BENCH_faults.json
     python -m repro.bench.report overlap --models gcn gin --json BENCH_overlap.json
     python -m repro.bench.report ops --json BENCH_ops.json
+    python -m repro.bench.report fleet --json BENCH_fleet.json
 
 Every subcommand prints the paper-style table (and, where it helps, an
 ASCII chart); ``--json``/``--csv`` write machine-readable copies.
@@ -57,7 +58,7 @@ from repro.models import MODEL_NAMES
 
 EXPERIMENTS = (
     "table1", "table4", "table5", "fig1", "fig2", "fig3", "fig4", "fig5", "fig6",
-    "serve", "compile", "kernels", "faults", "overlap", "ops",
+    "serve", "compile", "kernels", "faults", "overlap", "ops", "fleet",
 )
 
 
@@ -457,6 +458,16 @@ def _run_ops(args) -> int:
     return ops_bench.main(argv)
 
 
+def _run_fleet(args) -> int:
+    """Multi-replica fleet serving (full CLI in repro.bench.fleet)."""
+    from repro.bench import fleet as fleet_bench
+
+    argv = ["--report"]
+    if args.json:
+        argv += ["--out", args.json]
+    return fleet_bench.main(argv)
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     args = _parser().parse_args(argv)
     if args.experiment == "table1":
@@ -489,6 +500,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _run_overlap(args)
     elif args.experiment == "ops":
         return _run_ops(args)
+    elif args.experiment == "fleet":
+        return _run_fleet(args)
     return 0
 
 

@@ -224,6 +224,110 @@ def ops_from_json(text: str) -> Dict:
     return validate_ops_document(json.loads(text))
 
 
+# ----------------------------------------------------------------------
+# repro.bench.fleet documents (BENCH_fleet.json)
+# ----------------------------------------------------------------------
+#: Required fleet-cell fields and their JSON types; ``kind`` is further
+#: constrained to the benchmark's four sections and every tenant entry
+#: must carry its own resolution accounting.
+FLEET_CELL_SCHEMA = {
+    "kind": str,
+    "policy": str,
+    "replicas": int,
+    "peak_replicas": int,
+    "final_replicas": int,
+    "framework": str,
+    "model": str,
+    "dataset": str,
+    "trace_scale": (int, float),
+    "n_requests": int,
+    "completed": int,
+    "shed": int,
+    "failed": int,
+    "resolved": int,
+    "no_silent_loss": bool,
+    "goodput": (int, float),
+    "p50": (int, float),
+    "p95": (int, float),
+    "p99": (int, float),
+    "mean_latency": (int, float),
+    "mean_batch_size": (int, float),
+    "elapsed": (int, float),
+    "gpu_utilization": (int, float),
+    "cache_hits": int,
+    "cache_misses": int,
+    "cache_hit_rate": (int, float),
+    "retries": int,
+    "batch_splits": int,
+    "circuit_opens": int,
+    "reroutes": int,
+    "replica_losses": int,
+    "scale_ups": int,
+    "scale_downs": int,
+    "shed_by_reason": dict,
+    "failed_by_reason": dict,
+    "tenants": dict,
+}
+
+_FLEET_KINDS = ("replicas", "policy", "chaos", "autoscale")
+_TENANT_COUNTS = ("n_requests", "completed", "shed", "failed", "resolved")
+
+
+def validate_fleet_document(doc: Dict) -> Dict:
+    """Validate a BENCH_fleet.json document against the cell schema.
+
+    Beyond field presence/types, each cell's resolution arithmetic must
+    close (``completed + shed + failed == resolved``) and every tenant
+    entry must carry the count fields the no-silent-loss gate reads.
+    Raises :class:`ValueError` naming the first offending cell and field;
+    returns the document unchanged when valid.
+    """
+    if doc.get("experiment") != "fleet":
+        raise ValueError(
+            f"not a fleet document (experiment={doc.get('experiment')!r})"
+        )
+    if not isinstance(doc.get("cells"), list):
+        raise ValueError("fleet document has no 'cells' list")
+    for i, cell in enumerate(doc["cells"]):
+        for field, types in FLEET_CELL_SCHEMA.items():
+            if field not in cell:
+                raise ValueError(f"fleet cell {i} is missing field {field!r}")
+            if not isinstance(cell[field], types):
+                raise ValueError(
+                    f"fleet cell {i} field {field!r} has type "
+                    f"{type(cell[field]).__name__}, expected {types}"
+                )
+        if cell["kind"] not in _FLEET_KINDS:
+            raise ValueError(
+                f"fleet cell {i} has kind={cell['kind']!r}, "
+                f"expected one of {_FLEET_KINDS}"
+            )
+        if cell["completed"] + cell["shed"] + cell["failed"] != cell["resolved"]:
+            raise ValueError(
+                f"fleet cell {i}: completed + shed + failed != resolved"
+            )
+        for name, tenant in cell["tenants"].items():
+            if not isinstance(tenant, dict):
+                raise ValueError(f"fleet cell {i} tenant {name!r} is not a dict")
+            for key in _TENANT_COUNTS:
+                if not isinstance(tenant.get(key), int):
+                    raise ValueError(
+                        f"fleet cell {i} tenant {name!r} is missing "
+                        f"integer field {key!r}"
+                    )
+    return doc
+
+
+def fleet_to_json(doc: Dict) -> str:
+    """Serialise a fleet document (validated) to JSON."""
+    return json.dumps(validate_fleet_document(doc), indent=2)
+
+
+def fleet_from_json(text: str) -> Dict:
+    """Parse + validate a BENCH_fleet.json document."""
+    return validate_fleet_document(json.loads(text))
+
+
 def experiments_to_csv(results: Iterable[ExperimentResult]) -> str:
     """Flat CSV of the summary columns (one row per experiment cell)."""
     buffer = io.StringIO()

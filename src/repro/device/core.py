@@ -104,7 +104,15 @@ class Device:
         stream: Optional[Stream] = None,
     ) -> float:
         """Charge one kernel launch at its eager cost."""
-        self.clock.advance_host(self.spec.launch_overhead)
+        offloaded = self._offload is not None and stream is not None and stream is not self.default_stream
+        if offloaded:
+            # A host *worker* (an offloaded replica/loader process) issues
+            # the launch: the overhead lands on the worker's timeline, not
+            # the shared frontend clock, and the kernel cannot start before
+            # the worker has issued it.
+            self._offload.enqueue(self.spec.launch_overhead)
+        else:
+            self.clock.advance_host(self.spec.launch_overhead)
         duration = self.spec.kernel_time(flops, bytes_moved, kernel_efficiency(name))
         if stream is None or stream is self.default_stream:
             self.clock.advance_gpu(duration)
@@ -117,9 +125,12 @@ class Device:
             # Async: the stream carries the duration; the host only paid
             # the launch overhead, so only that much wall time is
             # attributable to the enclosing scope.
-            timestamp = stream.enqueue(duration)
+            timestamp = stream.enqueue(
+                duration, after=self._offload.ready if offloaded else None
+            )
             self.clock.account_gpu_async(duration)
-            self._attribute_scope(self.spec.launch_overhead)
+            if not offloaded:
+                self._attribute_scope(self.spec.launch_overhead)
             stream_id = stream.id
         self.profiler.record(
             KernelRecord(

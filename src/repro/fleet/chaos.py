@@ -1,0 +1,91 @@
+"""Fleet-level chaos: seeded replica loss on top of device fault injection.
+
+``repro.faults`` injects *device*-level trouble (OOMs, kernel faults,
+stalls).  A fleet adds a new failure domain: whole replicas vanish — the
+machine dies, the pod is pre-empted.  A :class:`ChaosPlan` schedules those
+losses deterministically: explicit loss times, with the victim drawn from
+a seeded RNG stream over the replicas that are up at that instant, each
+loss followed by a fixed-downtime recovery.
+
+The composition contract mirrors the serving layer's: a lost replica's
+backlog is re-routed, its in-flight batch is retried on surviving
+replicas (bounded attempts, then an explicit ``replica_lost`` failure),
+and the per-tenant no-silent-loss invariant holds through any schedule.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence, Tuple
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class ChaosPlan:
+    """Deterministic schedule of replica losses (and device faults).
+
+    ``loss_times`` are fleet-relative seconds; at each, one up replica
+    (chosen by the plan's seeded RNG) goes down for ``downtime`` seconds.
+    ``fault_plan`` optionally carries a :class:`repro.faults.FaultPlan`
+    installed on the shared device for the whole replay, so kernel faults
+    and injected OOMs fire *inside* replica forwards while replicas are
+    being killed around them.
+    """
+
+    seed: int = 0
+    loss_times: Tuple[float, ...] = ()
+    downtime: float = 0.05
+    fault_plan: Optional[object] = None
+    #: Routing attempts per request before an explicit ``replica_lost``
+    #: failure (first dispatch + re-routes after crashes).
+    max_dispatches: int = 3
+
+    def __post_init__(self) -> None:
+        if self.downtime <= 0:
+            raise ValueError("downtime must be positive")
+        if any(t < 0 for t in self.loss_times):
+            raise ValueError("loss times must be non-negative")
+        if list(self.loss_times) != sorted(self.loss_times):
+            raise ValueError("loss times must be sorted")
+        if self.max_dispatches <= 0:
+            raise ValueError("max_dispatches must be positive")
+
+    def start(self) -> "ChaosSchedule":
+        return ChaosSchedule(self)
+
+
+@dataclass
+class ChaosSchedule:
+    """Per-run cursor over a plan's loss times with its own victim RNG."""
+
+    plan: ChaosPlan
+    _next: int = 0
+    _rng: np.random.Generator = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        self._rng = np.random.default_rng(
+            np.random.SeedSequence(self.plan.seed).spawn(1)[0]
+        )
+
+    @property
+    def next_loss(self) -> Optional[float]:
+        times = self.plan.loss_times
+        return times[self._next] if self._next < len(times) else None
+
+    def pop_due(self, now: float) -> Optional[float]:
+        """Return (and consume) the next loss time if it is due at ``now``."""
+        due = self.next_loss
+        if due is not None and due <= now:
+            self._next += 1
+            return due
+        return None
+
+    def pick_victim(self, up_replicas: Sequence) -> Optional[object]:
+        """Seeded uniform choice among the currently-up replicas."""
+        if not up_replicas:
+            return None
+        return up_replicas[int(self._rng.integers(0, len(up_replicas)))]
+
+
+__all__ = ["ChaosPlan", "ChaosSchedule"]

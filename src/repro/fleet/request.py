@@ -1,0 +1,79 @@
+"""Tenants, SLA tiers, and the fleet-level request/response types.
+
+The fleet serves *many* customers over shared replicas.  Each request
+belongs to a :class:`Tenant` with an SLA tier (dispatch priority + latency
+deadline) and an admission quota — the per-customer backpressure that stops
+one tenant's flash crowd from starving everyone else's gold traffic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.serve.request import InferenceRequest, InferenceResponse
+
+#: SLA tier name -> dispatch priority (lower dispatches first).
+SLA_TIERS = {"gold": 0, "silver": 1, "bronze": 2}
+
+
+@dataclass(frozen=True)
+class Tenant:
+    """One customer of the fleet: identity, SLA tier, admission quota.
+
+    ``deadline`` is the tier's latency SLA in simulated seconds (requests
+    past it are shed at dispatch rather than answered late); ``quota``
+    bounds the tenant's *outstanding* requests across the whole fleet —
+    admission sheds with reason ``quota`` beyond it.
+    """
+
+    name: str
+    tier: str = "bronze"
+    deadline: Optional[float] = None
+    quota: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.tier not in SLA_TIERS:
+            raise ValueError(f"unknown SLA tier {self.tier!r}; options: {sorted(SLA_TIERS)}")
+        if self.deadline is not None and self.deadline <= 0:
+            raise ValueError("deadline must be positive when set")
+        if self.quota is not None and self.quota <= 0:
+            raise ValueError("quota must be positive when set")
+
+    @property
+    def priority(self) -> int:
+        """Dispatch priority of this tenant's tier (lower is sooner)."""
+        return SLA_TIERS[self.tier]
+
+
+@dataclass
+class FleetRequest(InferenceRequest):
+    """An :class:`InferenceRequest` stamped with its tenant and sample key.
+
+    ``sample_idx`` identifies the underlying graph in the served corpus —
+    the cache key for the fleet's result cache.  ``dispatches`` counts
+    routing attempts (a request re-routed off a lost replica retries with
+    a bounded budget, then fails explicitly).
+    """
+
+    tenant: Optional[Tenant] = None
+    sample_idx: int = 0
+    dispatches: int = 0
+
+    @property
+    def tenant_name(self) -> str:
+        return self.tenant.name if self.tenant is not None else ""
+
+    @property
+    def priority(self) -> int:
+        return self.tenant.priority if self.tenant is not None else SLA_TIERS["bronze"]
+
+
+@dataclass
+class FleetResponse(InferenceResponse):
+    """A served fleet request: prediction plus where/how it was served."""
+
+    tenant: str = ""
+    replica: int = -1
+    #: Answered straight from the result cache, no replica involved.
+    cached: bool = False

@@ -1,0 +1,112 @@
+"""SLA-tiered priority queues and per-tenant admission quotas.
+
+Each replica owns a :class:`TieredQueue`: one bounded FIFO lane per SLA
+tier, drained highest-priority-first.  The queue exposes the same
+``peek``/``pop``/``__len__`` surface as :class:`repro.serve.RequestQueue`,
+so the existing :class:`~repro.serve.DynamicBatcher` coalesces fleet
+batches unchanged (a batch may mix tiers — priority decides *order*, the
+node/edge budget decides *size*).
+
+:class:`TenantQuota` is the fleet-wide admission counter: each tenant may
+have at most ``quota`` requests outstanding (queued anywhere in the
+fleet); beyond it, admission sheds with reason ``quota`` — per-customer
+backpressure, so one tenant's burst cannot monopolise every queue.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Dict, Iterator, List, Optional
+
+from repro.fleet.request import SLA_TIERS, FleetRequest, Tenant
+from repro.serve.request import Overloaded
+
+
+class TieredQueue:
+    """Bounded priority queue: one FIFO lane per SLA tier."""
+
+    def __init__(self, capacity: int) -> None:
+        if capacity <= 0:
+            raise ValueError("queue capacity must be positive")
+        self.capacity = capacity
+        self._lanes: List[Deque[FleetRequest]] = [
+            deque() for _ in range(len(SLA_TIERS))
+        ]
+
+    def __len__(self) -> int:
+        return sum(len(lane) for lane in self._lanes)
+
+    def __iter__(self) -> Iterator[FleetRequest]:
+        for lane in self._lanes:
+            yield from lane
+
+    @property
+    def full(self) -> bool:
+        return len(self) >= self.capacity
+
+    def push(self, request: FleetRequest) -> None:
+        if self.full:
+            raise Overloaded(
+                f"tiered queue full at depth {len(self)}", queue_depth=len(self)
+            )
+        self._lanes[request.priority].append(request)
+
+    def peek(self) -> Optional[FleetRequest]:
+        for lane in self._lanes:
+            if lane:
+                return lane[0]
+        return None
+
+    def pop(self) -> FleetRequest:
+        for lane in self._lanes:
+            if lane:
+                return lane.popleft()
+        raise IndexError("pop from an empty tiered queue")
+
+    def drain(self) -> List[FleetRequest]:
+        """Remove and return everything queued, priority-then-FIFO order.
+
+        Used when a replica is lost or scaled away: its backlog gets
+        re-routed, never dropped.
+        """
+        out: List[FleetRequest] = []
+        for lane in self._lanes:
+            out.extend(lane)
+            lane.clear()
+        return out
+
+    def depth_by_tier(self) -> Dict[str, int]:
+        names = sorted(SLA_TIERS, key=SLA_TIERS.get)
+        return {name: len(self._lanes[SLA_TIERS[name]]) for name in names}
+
+
+class TenantQuota:
+    """Fleet-wide outstanding-request counter per tenant."""
+
+    def __init__(self) -> None:
+        self._outstanding: Dict[str, int] = {}
+
+    def outstanding(self, tenant: Tenant) -> int:
+        return self._outstanding.get(tenant.name, 0)
+
+    def try_acquire(self, tenant: Optional[Tenant]) -> bool:
+        """Reserve one slot for ``tenant``; False when its quota is spent."""
+        if tenant is None:
+            return True
+        held = self._outstanding.get(tenant.name, 0)
+        if tenant.quota is not None and held >= tenant.quota:
+            return False
+        self._outstanding[tenant.name] = held + 1
+        return True
+
+    def release(self, tenant: Optional[Tenant]) -> None:
+        """Free one slot (the request left every queue, whatever its fate)."""
+        if tenant is None:
+            return
+        held = self._outstanding.get(tenant.name, 0)
+        if held <= 0:
+            raise RuntimeError(f"quota underflow for tenant {tenant.name!r}")
+        self._outstanding[tenant.name] = held - 1
+
+
+__all__ = ["TieredQueue", "TenantQuota"]

@@ -11,7 +11,12 @@ clock.
 """
 
 from repro.serve.batcher import DynamicBatcher
-from repro.serve.metrics import LATENCY_PERCENTILES, ServerMetrics, ServingResult
+from repro.serve.metrics import (
+    LATENCY_PERCENTILES,
+    ServerMetrics,
+    ServingResult,
+    nearest_rank_percentile,
+)
 from repro.serve.queue import AdmissionController, RequestQueue
 from repro.serve.registry import InferenceModel, ModelRegistry
 from repro.serve.request import InferenceRequest, InferenceResponse, Overloaded
@@ -30,6 +35,7 @@ __all__ = [
     "ServerMetrics",
     "ServingResult",
     "LATENCY_PERCENTILES",
+    "nearest_rank_percentile",
     "ServeSimulator",
     "poisson_trace",
     "bursty_trace",

@@ -1,0 +1,68 @@
+"""LRU result cache semantics and hit-rate accounting."""
+
+import pytest
+
+from repro.fleet import ResultCache
+
+
+class TestResultCache:
+    @pytest.mark.parametrize("capacity", [0, -1])
+    def test_capacity_must_be_positive(self, capacity):
+        with pytest.raises(ValueError):
+            ResultCache(capacity)
+
+    def test_miss_then_hit(self):
+        cache = ResultCache(4)
+        assert cache.get(7) is None
+        cache.put(7, 3)
+        assert cache.get(7) == 3
+        assert cache.hits == 1
+        assert cache.misses == 1
+        assert cache.lookups == 2
+        assert cache.hit_rate == pytest.approx(0.5)
+
+    def test_hit_rate_with_no_lookups_is_zero(self):
+        assert ResultCache(1).hit_rate == 0.0
+
+    def test_eviction_is_least_recently_used(self):
+        cache = ResultCache(2)
+        cache.put(1, 10)
+        cache.put(2, 20)
+        cache.put(3, 30)
+        assert 1 not in cache
+        assert 2 in cache and 3 in cache
+        assert cache.evictions == 1
+
+    def test_get_refreshes_recency(self):
+        cache = ResultCache(2)
+        cache.put(1, 10)
+        cache.put(2, 20)
+        assert cache.get(1) == 10
+        cache.put(3, 30)
+        # 2 was the least recently used after the get(1) refresh.
+        assert 2 not in cache
+        assert 1 in cache and 3 in cache
+
+    def test_put_refreshes_recency(self):
+        cache = ResultCache(2)
+        cache.put(1, 10)
+        cache.put(2, 20)
+        cache.put(1, 11)
+        cache.put(3, 30)
+        assert 2 not in cache
+        assert cache.get(1) == 11
+
+    def test_put_existing_key_does_not_evict(self):
+        cache = ResultCache(2)
+        cache.put(1, 10)
+        cache.put(2, 20)
+        cache.put(2, 21)
+        assert len(cache) == 2
+        assert cache.evictions == 0
+
+    def test_len_is_bounded_by_capacity(self):
+        cache = ResultCache(3)
+        for key in range(10):
+            cache.put(key, key)
+        assert len(cache) == 3
+        assert cache.evictions == 7

@@ -1,0 +1,73 @@
+"""Chaos plans and schedules: validation, cursor semantics, seeded
+victim selection."""
+
+import pytest
+
+from repro.fleet import ChaosPlan, ChaosSchedule
+
+
+class TestChaosPlan:
+    def test_default_plan_is_valid(self):
+        plan = ChaosPlan()
+        assert plan.loss_times == ()
+        assert plan.fault_plan is None
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"downtime": 0.0},
+            {"downtime": -0.1},
+            {"loss_times": (-0.1,)},
+            {"loss_times": (0.3, 0.1)},
+            {"max_dispatches": 0},
+        ],
+    )
+    def test_validation(self, kwargs):
+        with pytest.raises(ValueError):
+            ChaosPlan(**kwargs)
+
+    def test_frozen(self):
+        plan = ChaosPlan()
+        with pytest.raises(AttributeError):
+            plan.downtime = 1.0
+
+    def test_start_builds_a_schedule(self):
+        schedule = ChaosPlan(loss_times=(0.1,)).start()
+        assert isinstance(schedule, ChaosSchedule)
+        assert schedule.next_loss == 0.1
+
+
+class TestChaosSchedule:
+    def test_pop_due_consumes_in_order(self):
+        schedule = ChaosPlan(loss_times=(0.1, 0.2)).start()
+        assert schedule.pop_due(0.05) is None
+        assert schedule.pop_due(0.15) == 0.1
+        assert schedule.next_loss == 0.2
+        assert schedule.pop_due(0.25) == 0.2
+        assert schedule.next_loss is None
+        assert schedule.pop_due(1.0) is None
+
+    def test_independent_runs_share_no_cursor(self):
+        plan = ChaosPlan(loss_times=(0.1,))
+        first, second = plan.start(), plan.start()
+        assert first.pop_due(0.2) == 0.1
+        assert second.next_loss == 0.1
+
+    def test_pick_victim_empty_roster_is_none(self):
+        assert ChaosPlan().start().pick_victim([]) is None
+
+    def test_pick_victim_is_seeded_deterministic(self):
+        roster = list(range(6))
+        picks_a = [ChaosPlan(seed=9).start().pick_victim(roster) for _ in range(1)]
+        first = ChaosPlan(seed=9).start()
+        second = ChaosPlan(seed=9).start()
+        assert [first.pick_victim(roster) for _ in range(20)] == [
+            second.pick_victim(roster) for _ in range(20)
+        ]
+        assert picks_a[0] in roster
+
+    def test_pick_victim_draws_from_the_given_roster(self):
+        schedule = ChaosPlan(seed=0).start()
+        picks = {schedule.pick_victim(["a", "b", "c"]) for _ in range(50)}
+        assert picks <= {"a", "b", "c"}
+        assert len(picks) > 1

@@ -1,0 +1,96 @@
+"""Tenants, SLA tiers, and fleet request/response stamping."""
+
+import pytest
+
+from repro.fleet import SLA_TIERS, FleetRequest, FleetResponse, Tenant
+from repro.graph import GraphSample
+
+
+def _sample():
+    import numpy as np
+
+    return GraphSample(
+        edge_index=np.zeros((2, 1), dtype=np.int64),
+        x=np.zeros((2, 3), dtype=np.float32),
+        y=0,
+    )
+
+
+class TestTenant:
+    @pytest.mark.parametrize("tier,priority", sorted(SLA_TIERS.items()))
+    def test_tier_priority(self, tier, priority):
+        assert Tenant("t", tier=tier).priority == priority
+
+    def test_gold_dispatches_before_bronze(self):
+        assert Tenant("a", tier="gold").priority < Tenant("b", tier="bronze").priority
+
+    def test_defaults_to_bronze(self):
+        assert Tenant("t").tier == "bronze"
+
+    def test_unknown_tier_rejected(self):
+        with pytest.raises(ValueError, match="SLA tier"):
+            Tenant("t", tier="platinum")
+
+    @pytest.mark.parametrize("deadline", [0.0, -1.0])
+    def test_nonpositive_deadline_rejected(self, deadline):
+        with pytest.raises(ValueError, match="deadline"):
+            Tenant("t", deadline=deadline)
+
+    @pytest.mark.parametrize("quota", [0, -3])
+    def test_nonpositive_quota_rejected(self, quota):
+        with pytest.raises(ValueError, match="quota"):
+            Tenant("t", quota=quota)
+
+    def test_frozen(self):
+        tenant = Tenant("t")
+        with pytest.raises(AttributeError):
+            tenant.tier = "gold"
+
+
+class TestFleetRequest:
+    def test_inherits_tenant_priority(self):
+        request = FleetRequest(
+            request_id=0, sample=_sample(), arrival_time=0.0,
+            tenant=Tenant("t", tier="gold"),
+        )
+        assert request.priority == SLA_TIERS["gold"]
+        assert request.tenant_name == "t"
+
+    def test_tenantless_request_is_bronze(self):
+        request = FleetRequest(request_id=0, sample=_sample(), arrival_time=0.0)
+        assert request.priority == SLA_TIERS["bronze"]
+        assert request.tenant_name == ""
+
+    def test_deadline_expiry_comes_from_base_request(self):
+        request = FleetRequest(
+            request_id=0, sample=_sample(), arrival_time=1.0, deadline=0.5,
+            tenant=Tenant("t", deadline=0.5),
+        )
+        assert not request.expired(1.4)
+        assert request.expired(1.6)
+
+    def test_dispatch_counter_starts_at_zero(self):
+        request = FleetRequest(request_id=0, sample=_sample(), arrival_time=0.0)
+        assert request.dispatches == 0
+
+
+class TestFleetResponse:
+    def test_carries_serving_location(self):
+        response = FleetResponse(
+            request_id=3, prediction=1, arrival_time=0.0,
+            dispatch_time=0.1, completion_time=0.2, batch_size=4,
+            tenant="acme", replica=2,
+        )
+        assert response.tenant == "acme"
+        assert response.replica == 2
+        assert not response.cached
+        assert response.latency == pytest.approx(0.2)
+
+    def test_cache_hits_are_marked(self):
+        response = FleetResponse(
+            request_id=3, prediction=1, arrival_time=0.0,
+            dispatch_time=0.0, completion_time=0.0, batch_size=1,
+            tenant="acme", replica=-1, cached=True,
+        )
+        assert response.cached
+        assert response.replica == -1

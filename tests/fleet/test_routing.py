@@ -1,0 +1,136 @@
+"""Routing policies: rotation, load scanning, seeded two-choice sampling,
+and the routable-set filter (liveness + circuit breakers)."""
+
+from dataclasses import dataclass, field
+
+import pytest
+
+from repro.fleet import (
+    LeastLoaded,
+    PowerOfTwoChoices,
+    RoundRobin,
+    make_policy,
+    routable,
+)
+from repro.fleet.routing import POLICY_NAMES
+from repro.serve.resilience import CircuitBreaker
+
+
+@dataclass
+class FakeReplica:
+    """The slice of the replica surface routing actually touches."""
+
+    id: int
+    backlog: int = 0
+    is_up: bool = True
+    breaker: CircuitBreaker = field(
+        default_factory=lambda: CircuitBreaker(failure_threshold=1, cooldown=0.1)
+    )
+
+
+@dataclass
+class FakeRequest:
+    request_id: int
+
+
+def _fleet(*backlogs):
+    return [FakeReplica(id=i, backlog=b) for i, b in enumerate(backlogs)]
+
+
+class TestRoundRobin:
+    def test_rotates_in_order(self):
+        policy = RoundRobin()
+        replicas = _fleet(0, 0, 0)
+        picks = [policy.select(FakeRequest(i), replicas).id for i in range(6)]
+        assert picks == [0, 1, 2, 0, 1, 2]
+
+    def test_ignores_load(self):
+        policy = RoundRobin()
+        replicas = _fleet(100, 0)
+        assert policy.select(FakeRequest(0), replicas).id == 0
+
+
+class TestLeastLoaded:
+    def test_picks_smallest_backlog(self):
+        policy = LeastLoaded()
+        assert policy.select(FakeRequest(0), _fleet(5, 2, 9)).id == 1
+
+    def test_ties_break_by_replica_id(self):
+        policy = LeastLoaded()
+        assert policy.select(FakeRequest(0), _fleet(3, 3, 3)).id == 0
+
+
+class TestPowerOfTwoChoices:
+    def test_same_seed_routes_identically(self):
+        first, second = PowerOfTwoChoices(seed=7), PowerOfTwoChoices(seed=7)
+        for policy in (first, second):
+            replicas = _fleet(0, 0, 0, 0)
+            for i in range(50):
+                choice = policy.select(FakeRequest(i), replicas)
+                choice.backlog += 1
+        assert first.decisions == second.decisions
+
+    def test_different_seeds_diverge(self):
+        first, second = PowerOfTwoChoices(seed=0), PowerOfTwoChoices(seed=1)
+        replicas = _fleet(*([0] * 8))
+        for i in range(50):
+            first.select(FakeRequest(i), replicas)
+            second.select(FakeRequest(i), replicas)
+        assert first.decisions != second.decisions
+
+    def test_single_replica_degenerates(self):
+        policy = PowerOfTwoChoices(seed=0)
+        replicas = _fleet(4)
+        assert policy.select(FakeRequest(0), replicas).id == 0
+
+    def test_prefers_the_less_loaded_of_the_pair(self):
+        policy = PowerOfTwoChoices(seed=0)
+        # With two replicas the sampled pair is always {0, 1}.
+        assert policy.select(FakeRequest(0), _fleet(9, 1)).id == 1
+        assert policy.select(FakeRequest(1), _fleet(1, 9)).id == 0
+
+
+class TestPolicyBase:
+    def test_empty_routable_set_rejected(self):
+        with pytest.raises(ValueError, match="no routable replicas"):
+            RoundRobin().select(FakeRequest(0), [])
+
+    def test_decisions_log_request_and_replica(self):
+        policy = LeastLoaded()
+        policy.select(FakeRequest(42), _fleet(0, 5))
+        assert policy.decisions == [(42, 0)]
+
+    @pytest.mark.parametrize("name", POLICY_NAMES)
+    def test_make_policy_names(self, name):
+        assert make_policy(name).name == name
+
+    def test_make_policy_unknown_name(self):
+        with pytest.raises(ValueError, match="unknown routing policy"):
+            make_policy("random")
+
+
+class TestRoutable:
+    def test_down_replicas_are_excluded(self):
+        replicas = _fleet(0, 0)
+        replicas[0].is_up = False
+        assert [r.id for r in routable(replicas, now=0.0)] == [1]
+
+    def test_open_breaker_within_cooldown_is_excluded(self):
+        replicas = _fleet(0, 0)
+        breaker = replicas[1].breaker
+        breaker.record_failure(now=1.0)
+        assert breaker.state == breaker.OPEN
+        assert [r.id for r in routable(replicas, now=1.05)] == [0]
+
+    def test_open_breaker_past_cooldown_is_routable_again(self):
+        replicas = _fleet(0, 0)
+        breaker = replicas[1].breaker
+        breaker.record_failure(now=1.0)
+        assert [r.id for r in routable(replicas, now=1.2)] == [0, 1]
+
+    def test_routable_does_not_mutate_breaker_state(self):
+        replicas = _fleet(0)
+        breaker = replicas[0].breaker
+        breaker.record_failure(now=1.0)
+        routable(replicas, now=5.0)
+        assert breaker.state == breaker.OPEN

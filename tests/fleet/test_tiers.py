@@ -1,0 +1,136 @@
+"""SLA-tiered queues and per-tenant admission quotas."""
+
+import numpy as np
+import pytest
+
+from repro.fleet import Tenant, TenantQuota, TieredQueue
+from repro.fleet.request import FleetRequest
+from repro.graph import GraphSample
+from repro.serve.request import Overloaded
+
+GOLD = Tenant("g", tier="gold")
+SILVER = Tenant("s", tier="silver")
+BRONZE = Tenant("b", tier="bronze")
+
+
+def _request(request_id, tenant=None):
+    sample = GraphSample(
+        edge_index=np.zeros((2, 1), dtype=np.int64),
+        x=np.zeros((2, 3), dtype=np.float32),
+        y=0,
+    )
+    return FleetRequest(
+        request_id=request_id, sample=sample, arrival_time=0.0, tenant=tenant
+    )
+
+
+class TestTieredQueue:
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ValueError):
+            TieredQueue(0)
+
+    def test_pop_is_priority_then_fifo(self):
+        queue = TieredQueue(8)
+        queue.push(_request(0, BRONZE))
+        queue.push(_request(1, GOLD))
+        queue.push(_request(2, SILVER))
+        queue.push(_request(3, GOLD))
+        order = [queue.pop().request_id for _ in range(4)]
+        assert order == [1, 3, 2, 0]
+
+    def test_peek_does_not_remove(self):
+        queue = TieredQueue(4)
+        queue.push(_request(0, SILVER))
+        assert queue.peek().request_id == 0
+        assert len(queue) == 1
+
+    def test_peek_empty_is_none(self):
+        assert TieredQueue(4).peek() is None
+
+    def test_pop_empty_raises(self):
+        with pytest.raises(IndexError):
+            TieredQueue(4).pop()
+
+    def test_capacity_is_shared_across_tiers(self):
+        queue = TieredQueue(2)
+        queue.push(_request(0, GOLD))
+        queue.push(_request(1, BRONZE))
+        assert queue.full
+        with pytest.raises(Overloaded):
+            queue.push(_request(2, GOLD))
+
+    def test_overloaded_carries_queue_depth(self):
+        queue = TieredQueue(1)
+        queue.push(_request(0))
+        with pytest.raises(Overloaded) as excinfo:
+            queue.push(_request(1))
+        assert excinfo.value.queue_depth == 1
+
+    def test_drain_returns_priority_order_and_empties(self):
+        queue = TieredQueue(8)
+        queue.push(_request(0, BRONZE))
+        queue.push(_request(1, GOLD))
+        drained = queue.drain()
+        assert [r.request_id for r in drained] == [1, 0]
+        assert len(queue) == 0
+
+    def test_depth_by_tier(self):
+        queue = TieredQueue(8)
+        queue.push(_request(0, GOLD))
+        queue.push(_request(1, GOLD))
+        queue.push(_request(2, BRONZE))
+        assert queue.depth_by_tier() == {"gold": 2, "silver": 0, "bronze": 1}
+
+    def test_iteration_yields_priority_order(self):
+        queue = TieredQueue(8)
+        queue.push(_request(0, BRONZE))
+        queue.push(_request(1, GOLD))
+        assert [r.request_id for r in queue] == [1, 0]
+
+    def test_tenantless_requests_queue_as_bronze(self):
+        queue = TieredQueue(8)
+        queue.push(_request(0))
+        assert queue.depth_by_tier()["bronze"] == 1
+
+
+class TestTenantQuota:
+    def test_unquotaed_tenant_always_admits(self):
+        quota = TenantQuota()
+        tenant = Tenant("t")
+        for _ in range(100):
+            assert quota.try_acquire(tenant)
+        assert quota.outstanding(tenant) == 100
+
+    def test_tenantless_requests_bypass_quota(self):
+        assert TenantQuota().try_acquire(None)
+
+    def test_quota_bounds_outstanding(self):
+        quota = TenantQuota()
+        tenant = Tenant("t", quota=2)
+        assert quota.try_acquire(tenant)
+        assert quota.try_acquire(tenant)
+        assert not quota.try_acquire(tenant)
+
+    def test_release_frees_a_slot(self):
+        quota = TenantQuota()
+        tenant = Tenant("t", quota=1)
+        assert quota.try_acquire(tenant)
+        assert not quota.try_acquire(tenant)
+        quota.release(tenant)
+        assert quota.try_acquire(tenant)
+
+    def test_quotas_are_per_tenant(self):
+        quota = TenantQuota()
+        first = Tenant("a", quota=1)
+        second = Tenant("b", quota=1)
+        assert quota.try_acquire(first)
+        assert quota.try_acquire(second)
+        assert not quota.try_acquire(first)
+
+    def test_release_underflow_raises(self):
+        quota = TenantQuota()
+        with pytest.raises(RuntimeError, match="underflow"):
+            quota.release(Tenant("t"))
+
+    def test_release_none_is_noop(self):
+        TenantQuota().release(None)

@@ -1,0 +1,181 @@
+"""Multi-tenant traffic generators: Zipf skew, diurnal/flash shapes,
+deterministic merging."""
+
+import numpy as np
+import pytest
+
+from repro.fleet import (
+    Arrival,
+    Tenant,
+    bursty_multitenant_trace,
+    diurnal_trace,
+    flash_crowd_trace,
+    merge_traces,
+    zipf_sample_indices,
+)
+
+TENANT = Tenant("t")
+
+
+class TestZipfSampleIndices:
+    def test_head_is_hotter_than_tail(self):
+        indices = zipf_sample_indices(
+            5000, n_samples=50, skew=1.1, rng=np.random.default_rng(0)
+        )
+        counts = np.bincount(indices, minlength=50)
+        assert counts[0] > counts[-1]
+        # The top-5 head absorbs a disproportionate share.
+        assert counts[:5].sum() > 0.3 * len(indices)
+
+    def test_indices_stay_in_range(self):
+        indices = zipf_sample_indices(
+            200, n_samples=7, rng=np.random.default_rng(0)
+        )
+        assert indices.min() >= 0
+        assert indices.max() < 7
+
+    def test_seeded_determinism(self):
+        a = zipf_sample_indices(100, 10, rng=np.random.default_rng(3))
+        b = zipf_sample_indices(100, 10, rng=np.random.default_rng(3))
+        assert np.array_equal(a, b)
+
+    @pytest.mark.parametrize("n_samples,skew", [(0, 1.1), (10, 0.0)])
+    def test_validation(self, n_samples, skew):
+        with pytest.raises(ValueError):
+            zipf_sample_indices(10, n_samples, skew)
+
+
+class TestDiurnalTrace:
+    def test_times_are_increasing(self):
+        trace = diurnal_trace(
+            TENANT, 100, base_rate=100.0, rng=np.random.default_rng(0)
+        )
+        times = [a.time for a in trace]
+        assert times == sorted(times)
+        assert all(t > 0 for t in times)
+
+    def test_all_arrivals_belong_to_the_tenant(self):
+        trace = diurnal_trace(
+            TENANT, 10, base_rate=100.0, rng=np.random.default_rng(0)
+        )
+        assert all(a.tenant is TENANT for a in trace)
+
+    def test_seeded_determinism(self):
+        a = diurnal_trace(TENANT, 50, 100.0, rng=np.random.default_rng(1))
+        b = diurnal_trace(TENANT, 50, 100.0, rng=np.random.default_rng(1))
+        assert a == b
+
+    def test_rate_modulation_compresses_peak_gaps(self):
+        """Arrivals cluster when the sinusoid peaks: the busiest
+        half-period holds more arrivals than the slowest."""
+        trace = diurnal_trace(
+            TENANT, 2000, base_rate=1000.0, period=1.0, amplitude=0.8,
+            rng=np.random.default_rng(0),
+        )
+        peak = sum(1 for a in trace if (a.time % 1.0) < 0.5)
+        trough = sum(1 for a in trace if (a.time % 1.0) >= 0.5)
+        assert peak > trough
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"n_requests": 0},
+            {"base_rate": 0.0},
+            {"amplitude": 1.0},
+            {"amplitude": -0.1},
+        ],
+    )
+    def test_validation(self, kwargs):
+        defaults = dict(n_requests=10, base_rate=100.0)
+        defaults.update(kwargs)
+        with pytest.raises(ValueError):
+            diurnal_trace(TENANT, **defaults)
+
+
+class TestFlashCrowdTrace:
+    def test_spike_window_is_denser(self):
+        trace = flash_crowd_trace(
+            TENANT, 2000, base_rate=500.0, spike_at=0.5,
+            spike_rate=20000.0, spike_duration=0.1,
+            rng=np.random.default_rng(0),
+        )
+        in_spike = sum(1 for a in trace if 0.5 <= a.time < 0.6)
+        before = sum(1 for a in trace if a.time < 0.5)
+        # The 0.1s spike window out-paces the 0.5s of lead-in traffic.
+        assert in_spike > before
+
+    def test_seeded_determinism(self):
+        kwargs = dict(
+            n_requests=50, base_rate=100.0, spike_at=0.1,
+            spike_rate=1000.0, spike_duration=0.05,
+        )
+        a = flash_crowd_trace(TENANT, rng=np.random.default_rng(2), **kwargs)
+        b = flash_crowd_trace(TENANT, rng=np.random.default_rng(2), **kwargs)
+        assert a == b
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"n_requests": 0},
+            {"base_rate": 0.0},
+            {"spike_rate": 0.0},
+            {"spike_at": -1.0},
+            {"spike_duration": 0.0},
+        ],
+    )
+    def test_validation(self, kwargs):
+        defaults = dict(
+            n_requests=10, base_rate=100.0, spike_at=0.1,
+            spike_rate=1000.0, spike_duration=0.05,
+        )
+        defaults.update(kwargs)
+        with pytest.raises(ValueError):
+            flash_crowd_trace(TENANT, **defaults)
+
+
+class TestMergeTraces:
+    def test_merged_order_is_by_time(self):
+        first = [Arrival(0.3, TENANT, 0), Arrival(0.9, TENANT, 1)]
+        second = [Arrival(0.1, TENANT, 2), Arrival(0.5, TENANT, 3)]
+        merged = merge_traces(first, second)
+        assert [a.time for a in merged] == [0.1, 0.3, 0.5, 0.9]
+
+    def test_ties_break_by_tenant_name_then_sample(self):
+        a, b = Tenant("a"), Tenant("b")
+        merged = merge_traces(
+            [Arrival(0.5, b, 1)], [Arrival(0.5, a, 9), Arrival(0.5, a, 2)]
+        )
+        assert [(x.tenant.name, x.sample_idx) for x in merged] == [
+            ("a", 2), ("a", 9), ("b", 1)
+        ]
+
+
+class TestBurstyMultitenantTrace:
+    def test_three_tenants_with_expected_tiers(self):
+        trace = bursty_multitenant_trace(n_samples=10, n_requests=100, seed=0)
+        tiers = {a.tenant.name: a.tenant.tier for a in trace}
+        assert tiers == {"acme": "gold", "initech": "silver", "hooli": "bronze"}
+
+    def test_request_count_and_ordering(self):
+        trace = bursty_multitenant_trace(n_samples=10, n_requests=100, seed=0)
+        assert len(trace) == 100
+        times = [a.time for a in trace]
+        assert times == sorted(times)
+
+    def test_only_the_bronze_tenant_is_quota_capped(self):
+        trace = bursty_multitenant_trace(n_samples=10, n_requests=100, seed=0)
+        quotas = {a.tenant.name: a.tenant.quota for a in trace}
+        assert quotas["hooli"] is not None
+        assert quotas["acme"] is None and quotas["initech"] is None
+
+    def test_seeded_determinism(self):
+        a = bursty_multitenant_trace(n_samples=10, n_requests=100, seed=4)
+        b = bursty_multitenant_trace(n_samples=10, n_requests=100, seed=4)
+        assert a == b
+
+    def test_scale_compresses_the_trace(self):
+        slow = bursty_multitenant_trace(n_samples=10, n_requests=100, seed=0)
+        fast = bursty_multitenant_trace(
+            n_samples=10, n_requests=100, seed=0, scale=10.0
+        )
+        assert fast[-1].time < slow[-1].time

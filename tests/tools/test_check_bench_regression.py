@@ -138,6 +138,65 @@ def test_scaling_missing_replica_cell_is_a_regression(tmp_path):
     assert tool.main(["--baseline", base, "--current", str(cur)]) == 1
 
 
+def test_fleet_fixture_regressions_flagged(capsys):
+    """The fleet fixture drops goodput 20%, inflates p99 25%, and breaks
+    the chaos cell's per-tenant no-silent-loss accounting."""
+    base = os.path.join(REPO_ROOT, "BENCH_fleet.json")
+    bad = os.path.join(FIXTURE_DIR, "BENCH_fleet.json")
+    rc = tool.main(["--baseline", base, "--current", bad])
+    assert rc == 1
+    out = capsys.readouterr().out
+    assert "goodput" in out
+    assert "p99" in out
+    assert "no_silent_loss" in out
+    assert "tenants[hooli].resolved" in out
+
+
+def test_fleet_silent_loss_flagged_even_without_metric_drift(tmp_path):
+    """A fleet cell losing one request trips the gate even when every
+    gated metric is unchanged."""
+    base = os.path.join(REPO_ROOT, "BENCH_fleet.json")
+    doc = json.load(open(base))
+    doc["cells"][0]["resolved"] -= 1
+    cur = tmp_path / "BENCH_fleet.json"
+    cur.write_text(json.dumps(doc))
+    assert tool.main(["--baseline", base, "--current", str(cur)]) == 1
+
+
+def test_fleet_tenant_loss_flagged(tmp_path):
+    """Per-tenant accounting is gated independently of the fleet totals."""
+    base = os.path.join(REPO_ROOT, "BENCH_fleet.json")
+    doc = json.load(open(base))
+    tenants = doc["cells"][0]["tenants"]
+    tenants[sorted(tenants)[0]]["resolved"] -= 1
+    cur = tmp_path / "BENCH_fleet.json"
+    cur.write_text(json.dumps(doc))
+    assert tool.main(["--baseline", base, "--current", str(cur)]) == 1
+
+
+def test_fleet_subset_skips_missing_cells(tmp_path):
+    """--subset gates only the cells a reduced CI grid regenerated."""
+    base = os.path.join(REPO_ROOT, "BENCH_fleet.json")
+    doc = json.load(open(base))
+    doc["cells"] = [c for c in doc["cells"]
+                    if c["kind"] == "replicas" and c["replicas"] <= 2]
+    cur = tmp_path / "BENCH_fleet.json"
+    cur.write_text(json.dumps(doc))
+    assert tool.main(["--baseline", base, "--current", str(cur),
+                      "--subset"]) == 0
+    # Without --subset the missing cells are regressions.
+    assert tool.main(["--baseline", base, "--current", str(cur)]) == 1
+
+
+def test_fleet_missing_cell_is_a_regression(tmp_path):
+    base = os.path.join(REPO_ROOT, "BENCH_fleet.json")
+    doc = json.load(open(base))
+    doc["cells"] = doc["cells"][1:]
+    cur = tmp_path / "BENCH_fleet.json"
+    cur.write_text(json.dumps(doc))
+    assert tool.main(["--baseline", base, "--current", str(cur)]) == 1
+
+
 def test_usage_error_on_missing_baseline_dir(tmp_path):
     rc = tool.main(["--baseline-dir", str(tmp_path), "--current-dir", str(tmp_path)])
     assert rc == 2

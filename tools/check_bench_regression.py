@@ -34,7 +34,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 #: Bench files the directory mode looks for.
 BENCH_FILES = ("BENCH_serving.json", "BENCH_compile.json", "BENCH_faults.json",
                "BENCH_overlap.json", "BENCH_scale.json", "BENCH_scaling.json",
-               "BENCH_ops.json")
+               "BENCH_ops.json", "BENCH_fleet.json")
 
 #: Gated metrics per experiment kind: (metric, direction, absolute floor).
 #: ``lower`` means a larger current value is a regression; ``higher`` the
@@ -100,6 +100,16 @@ OPS_METRICS = (
     ("bound", "exact", 0.0),
     ("launches", "lower", 0.5),
     ("wall_time", "lower", 1e-7),
+)
+#: Fleet cells run on the simulated clock from seeded traffic, routing
+#: and chaos streams, so goodput/completed/p99 are deterministic and gate
+#: within the relative tolerance; the per-tenant no-silent-loss invariant
+#: gates exactly (any silent drop fails CI regardless of magnitude).
+FLEET_METRICS = (
+    ("goodput", "higher", 1.0),
+    ("completed", "higher", 0.5),
+    ("p99", "lower", 1e-4),
+    ("no_silent_loss", "exact", 0.0),
 )
 
 
@@ -292,6 +302,37 @@ def check_ops(baseline: Dict, current: Dict, tolerance: float,
     return out
 
 
+def check_fleet(baseline: Dict, current: Dict, tolerance: float,
+                subset: bool = False) -> List[Regression]:
+    def by_key(doc: Dict) -> Dict[Tuple[str, str, int], Dict]:
+        return {(c["kind"], c["policy"], c["replicas"]): c
+                for c in doc.get("cells", [])}
+
+    base_cells, cur_cells = by_key(baseline), by_key(current)
+    out: List[Regression] = []
+    for key, cell in sorted(base_cells.items()):
+        label = "fleet[%s/%s/x%d]" % key
+        if key not in cur_cells:
+            if subset:
+                continue  # reduced CI grid: ungenerated cells are not gated
+            out.append(Regression(label, "cell", "present", None,
+                                  "cell missing from current run"))
+            continue
+        cur = cur_cells[key]
+        out.extend(_check_metrics(label, FLEET_METRICS, cell, cur, tolerance))
+        if cur.get("resolved") != cur.get("n_requests"):
+            out.append(Regression(label, "resolved", cur.get("n_requests"),
+                                  cur.get("resolved"),
+                                  "requests lost without resolution"))
+        for name, tenant in sorted(cur.get("tenants", {}).items()):
+            if tenant.get("resolved") != tenant.get("n_requests"):
+                out.append(Regression(label, f"tenants[{name}].resolved",
+                                      tenant.get("n_requests"),
+                                      tenant.get("resolved"),
+                                      "tenant requests lost without resolution"))
+    return out
+
+
 def check_serving(baseline: List[Dict], current: List[Dict],
                   tolerance: float) -> List[Regression]:
     out: List[Regression] = []
@@ -351,6 +392,8 @@ def check_file(name: str, baseline: object, current: object,
         return check_scaling(baseline, current, tolerance)
     if kind == "ops":
         return check_ops(baseline, current, tolerance, subset=subset)
+    if kind == "fleet":
+        return check_fleet(baseline, current, tolerance, subset=subset)
     raise ValueError(f"{name}: unrecognised bench document (experiment={kind!r})")
 
 
