@@ -3,11 +3,13 @@
 The "magnifying glass" harness of the op-level benchmarking literature
 (Magnifying Glass, arXiv 2211.03021; Operation-Level Performance
 Benchmarking, arXiv 2207.09955), applied to this reproduction: time the
-individual kernels GNN frameworks are built from — GSpMM, scatter/segment
-reduce, dense GEMM, elementwise chains, H2D copies — across a grid of
-graph shapes (the paper's five datasets plus ``repro.scale``-style R-MAT
-synthetics), on both framework packs, eager and compiled.  For each cell
-the harness computes arithmetic intensity and achieved vs. roofline
+individual kernels GNN frameworks are built from — GSpMM, GSDDMM
+(attention logits), scatter/segment reduce, dense GEMM, elementwise
+chains, H2D copies — across a grid of graph shapes (the paper's five
+datasets plus ``repro.scale``-style R-MAT synthetics), on both framework
+packs, eager and compiled, in fp32 and the device's fp16 roofline mode
+(halved tensor bytes; see ``docs/kernels.md``).  For each cell the
+harness computes arithmetic intensity and achieved vs. roofline
 FLOP/bandwidth from the device cost model and classifies the op as
 launch-, bandwidth- or compute-bound (:mod:`repro.device.roofline`).
 
@@ -19,6 +21,7 @@ CLI (mirrors the other bench CLIs)::
 
     python -m repro.bench.ops --report
     python -m repro.bench.ops --shapes cora rmat-32k --packs pygx --report
+    python -m repro.bench.ops --ops sddmm gspmm --precisions fp16 --report
     python -m repro.bench.ops --ops gspmm gemm --modes eager --out BENCH_ops.json
 """
 
@@ -44,13 +47,14 @@ from repro.device import (
 from repro.graph.generators import rmat_edges
 from repro.tensor import CSRGraph, Tensor, matmul, ops as tops
 
-OPS = ("gspmm", "scatter_reduce", "gemm", "elementwise", "h2d")
+OPS = ("gspmm", "sddmm", "scatter_reduce", "gemm", "elementwise", "h2d")
 PACKS = ("pygx", "dglx")
 MODES = ("eager", "compiled")
+PRECISIONS = ("fp32", "fp16")
 
 #: Columns of the per-cell attribution table.
 OPS_COLUMNS = (
-    "op", "pack", "mode", "shape", "launch#", "MFLOP", "MB", "AI",
+    "op", "pack", "mode", "prec", "shape", "launch#", "MFLOP", "MB", "AI",
     "wall(us)", "%peakF", "%peakBW", "bound",
 )
 
@@ -129,6 +133,18 @@ def _build(op: str, shape: OpShape, pack: str):
             return dglx_kernels.spmm, (graph, x)
         return pygx_kernels.spmm, (edge_index, x, shape.n_nodes)
 
+    if op == "sddmm":
+        # The attention-logit kernel (Magnifying Glass's SDDMM shape):
+        # per-edge dot of source/destination rows.  DGL lowers it to one
+        # fused GSDDMM launch; PyG composes gather -> gather -> mul -> sum.
+        edge_index = _edge_index(shape)
+        if pack == "dglx":
+            graph = CSRGraph.from_edge_index(
+                edge_index[0], edge_index[1], shape.n_nodes, shape.n_nodes
+            )
+            return dglx_kernels.sddmm, (graph, x, x)
+        return pygx_kernels.sddmm, (edge_index, x, x)
+
     if op == "scatter_reduce":
         # Pool edge-sized rows into node bins: PyG scatters by an index
         # vector, DGL segment-reduces contiguous ranges — same reduction,
@@ -182,12 +198,18 @@ def _build(op: str, shape: OpShape, pack: str):
     raise ValueError(f"unknown op {op!r}; options: {OPS}")
 
 
-def run_cell(op: str, shape: OpShape, pack: str, mode: str = "eager") -> Dict:
-    """Benchmark one (op, shape, pack, mode) cell on a fresh device.
+def run_cell(
+    op: str, shape: OpShape, pack: str, mode: str = "eager",
+    precision: str = "fp32",
+) -> Dict:
+    """Benchmark one (op, shape, pack, mode, precision) cell on a fresh device.
 
     Returns a plain dict (the ``BENCH_ops.json`` cell schema).  The op
     runs once untimed (building lazy state; for compiled mode this is
     the capture step), then once under the profiler on a reset clock.
+    ``precision="fp16"`` runs the device's fp16 roofline mode: identical
+    numerics, halved tensor bytes, so bandwidth-bound cells speed up ~2×
+    while launch-bound cells are unchanged.
     """
     if op not in OPS:
         raise ValueError(f"unknown op {op!r}; options: {OPS}")
@@ -195,10 +217,12 @@ def run_cell(op: str, shape: OpShape, pack: str, mode: str = "eager") -> Dict:
         raise ValueError(f"unknown pack {pack!r}; options: {PACKS}")
     if mode not in MODES:
         raise ValueError(f"unknown mode {mode!r}; options: {MODES}")
+    if precision not in PRECISIONS:
+        raise ValueError(f"unknown precision {precision!r}; options: {PRECISIONS}")
     if op == "h2d" and mode == "compiled":
         raise ValueError("h2d copies have no compiled mode")
 
-    device = Device()
+    device = Device(precision=precision)
     with use_device(device):
         fn, args = _build(op, shape, pack)
         if mode == "compiled":
@@ -224,6 +248,7 @@ def run_cell(op: str, shape: OpShape, pack: str, mode: str = "eager") -> Dict:
         "op": op,
         "pack": pack,
         "mode": mode,
+        "precision": precision,
         "shape": shape.name,
         "n_nodes": shape.n_nodes,
         "n_edges": shape.n_edges,
@@ -245,8 +270,15 @@ def ops_grid(
     ops: Optional[Sequence[str]] = None,
     packs: Optional[Sequence[str]] = None,
     modes: Optional[Sequence[str]] = None,
+    precisions: Optional[Sequence[str]] = None,
 ) -> List[Dict]:
-    """Run the full benchmark grid; one dict per cell, grid order."""
+    """Run the full benchmark grid; one dict per cell, grid order.
+
+    The fp16 axis defaults to the eager cells only: compiled replay
+    charges the same (scaled) bytes as eager, so fp16×compiled adds grid
+    time without new attribution.  Pass ``precisions`` explicitly to
+    force any combination.
+    """
     cells = []
     for shape_name in shapes or sorted(SHAPES):
         shape = SHAPES[shape_name]
@@ -255,7 +287,14 @@ def ops_grid(
                 for mode in modes or MODES:
                     if op == "h2d" and mode == "compiled":
                         continue
-                    cells.append(run_cell(op, shape, pack, mode))
+                    for precision in precisions or PRECISIONS:
+                        if (
+                            precisions is None
+                            and precision == "fp16"
+                            and mode == "compiled"
+                        ):
+                            continue
+                        cells.append(run_cell(op, shape, pack, mode, precision))
     return cells
 
 
@@ -283,6 +322,7 @@ def ops_row(cell: Dict) -> List[str]:
         cell["op"],
         cell["pack"],
         cell["mode"],
+        cell.get("precision", "fp32"),
         cell["shape"],
         str(cell["launches"]),
         f"{cell['flops'] / 1e6:.2f}",
@@ -334,13 +374,17 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument("--ops", nargs="+", choices=OPS, default=None)
     parser.add_argument("--packs", nargs="+", choices=PACKS, default=None)
     parser.add_argument("--modes", nargs="+", choices=MODES, default=None)
+    parser.add_argument(
+        "--precisions", nargs="+", choices=PRECISIONS, default=None,
+        help="default: fp32 everywhere plus fp16 on the eager cells",
+    )
     parser.add_argument("--out", default=None, help="write BENCH_ops.json here")
     parser.add_argument(
         "--report", action="store_true", help="print the attribution report"
     )
     args = parser.parse_args(argv)
 
-    cells = ops_grid(args.shapes, args.ops, args.packs, args.modes)
+    cells = ops_grid(args.shapes, args.ops, args.packs, args.modes, args.precisions)
     if args.report or not args.out:
         print(ops_report(cells))
     if args.out:

@@ -168,6 +168,7 @@ OPS_CELL_SCHEMA = {
     "op": str,
     "pack": str,
     "mode": str,
+    "precision": str,
     "shape": str,
     "n_nodes": int,
     "n_edges": int,
@@ -184,6 +185,7 @@ OPS_CELL_SCHEMA = {
 }
 
 _BOUND_CLASSES = ("launch", "bandwidth", "compute")
+_PRECISIONS = ("fp32", "fp16")
 
 
 def validate_ops_document(doc: Dict) -> Dict:
@@ -210,6 +212,11 @@ def validate_ops_document(doc: Dict) -> Dict:
             raise ValueError(
                 f"ops cell {i} has bound={cell['bound']!r}, "
                 f"expected one of {_BOUND_CLASSES}"
+            )
+        if cell["precision"] not in _PRECISIONS:
+            raise ValueError(
+                f"ops cell {i} has precision={cell['precision']!r}, "
+                f"expected one of {_PRECISIONS}"
             )
     return doc
 

@@ -121,6 +121,9 @@ class PassStats:
     folded: int = 0
     fused_groups: int = 0
     fused_members: int = 0
+    #: Fused groups that are whole SDDMM->softmax->SpMM attention pipelines
+    #: (a subset of ``fused_groups``, produced by the ``attention`` pass).
+    attention_groups: int = 0
     extra: Dict[str, int] = field(default_factory=dict)
 
     @property
@@ -132,5 +135,6 @@ class PassStats:
     def summary(self) -> str:
         return (
             f"dce={self.dce_removed} cse={self.cse_removed} fold={self.folded} "
-            f"fusion={self.fused_groups} groups ({self.fused_members} launches saved)"
+            f"fusion={self.fused_groups} groups ({self.fused_members} launches saved, "
+            f"{self.attention_groups} attention pipelines)"
         )

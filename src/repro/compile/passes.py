@@ -30,7 +30,7 @@ ACTION_SKIP = "skip"
 ACTION_FUSE_HEAD = "fuse_head"
 ACTION_FUSE_MEMBER = "fuse_member"
 
-DEFAULT_PASSES = ("dce", "cse", "fold", "fuse")
+DEFAULT_PASSES = ("dce", "cse", "fold", "attention", "fuse")
 
 _F32 = 4
 
@@ -190,6 +190,82 @@ def constant_folding(
 
 
 # ----------------------------------------------------------------------
+# attention-pipeline fusion (SDDMM -> edge softmax -> SpMM)
+# ----------------------------------------------------------------------
+def _next_group_id(decisions: List[NodeDecision]) -> int:
+    """First fusion-group id not yet taken by an earlier pass."""
+    return max((d.group for d in decisions if d.group is not None), default=-1) + 1
+
+
+def fuse_attention(
+    ir: GraphIR,
+    decisions: List[NodeDecision],
+    stats: PassStats,
+    config: Optional[FusionConfig] = None,
+) -> None:
+    """Collapse SDDMM → edge-softmax → SpMM pipelines into one launch group.
+
+    The attention pattern every GAT-class model lowers to: a GSDDMM kernel
+    produces per-edge logits, an edge softmax normalises them, and a GSpMM
+    aggregates the attention-weighted messages.  All three touch the same
+    edge-order intermediates, so a fused launch keeps them on-chip — the
+    chain is matched on the *forward* stream only (backward kernels never
+    join), elementwise kernels between the stages (leaky_relu, dropout)
+    ride along, and a chain missing either the softmax or the closing SpMM
+    is abandoned untouched.
+
+    Runs before :func:`fuse_elementwise`, which treats the groups made here
+    as opaque.  Exact numerics are guaranteed by construction — replay runs
+    the same python kernels and only re-times them — and the replay
+    session's name guard falls back to eager execution on any divergence.
+    """
+    config = config or FusionConfig()
+    group_id = _next_group_id(decisions)
+    chain: List[IRNode] = []
+    saw_softmax = False
+
+    for node in ir.nodes:
+        if decisions[node.index].action == ACTION_SKIP:
+            continue
+        # Format-tuned sparse kernels carry an "@fmt" suffix; match the base.
+        base = node.name.partition("@")[0]
+        is_backward = "backward" in base
+        if base.startswith("gsddmm") and not is_backward:
+            chain = [node]  # (re)start a candidate pipeline at the SDDMM
+            saw_softmax = False
+            continue
+        if not chain:
+            continue
+        if base.startswith("edge_softmax") and not is_backward:
+            saw_softmax = True
+            chain.append(node)
+        elif (
+            base.startswith("gspmm")
+            and not is_backward
+            and saw_softmax
+            and len(chain) < config.max_group
+        ):
+            chain.append(node)
+            _mark_chain(ir, decisions, chain, group_id)
+            group_id += 1
+            stats.attention_groups += 1
+            stats.fused_groups += 1
+            stats.fused_members += len(chain) - 1
+            chain = []
+            saw_softmax = False
+            continue
+        elif config.is_elementwise(base) and not config.is_barrier(base):
+            chain.append(node)
+        else:
+            chain = []
+            saw_softmax = False
+            continue
+        if len(chain) >= config.max_group:
+            chain = []
+            saw_softmax = False
+
+
+# ----------------------------------------------------------------------
 # greedy elementwise / epilogue fusion
 # ----------------------------------------------------------------------
 def fuse_elementwise(
@@ -205,7 +281,9 @@ def fuse_elementwise(
     elementwise kernels join it until the group is full or the next
     non-elementwise kernel arrives (which heads the following chain).
     Skipped nodes are transparent — the compiled artifact does not run
-    them, so they cannot break a chain.
+    them, so they cannot break a chain.  Nodes already placed into a group
+    by an earlier pass (attention-pipeline fusion) are opaque barriers:
+    their groups are kept intact and never extended.
 
     Each producer->consumer edge interior to a chain stops paying for the
     intermediate tensor's write+read through device memory; members without
@@ -219,6 +297,10 @@ def fuse_elementwise(
     for node in ir.nodes:
         if decisions[node.index].action == ACTION_SKIP:
             continue
+        if decisions[node.index].group is not None:
+            chains.append(current)
+            current = []
+            continue
         if config.is_barrier(node.name):
             chains.append(current)
             current = []
@@ -231,7 +313,7 @@ def fuse_elementwise(
         current = [node]
     chains.append(current)
 
-    group_id = 0
+    group_id = _next_group_id(decisions)
     for chain in chains:
         if len(chain) < 2:
             continue
@@ -283,6 +365,8 @@ def run_passes(
             common_subexpression_elimination(ir, decisions, stats)
         elif name == "fold":
             constant_folding(ir, decisions, stats)
+        elif name == "attention":
+            fuse_attention(ir, decisions, stats, fusion)
         elif name == "fuse":
             fuse_elementwise(ir, decisions, stats, fusion)
         else:

@@ -6,7 +6,13 @@ substitution rationale.
 """
 
 from repro.device.clock import ClockSnapshot, SimClock
-from repro.device.core import Device, current_device, set_device, use_device
+from repro.device.core import (
+    Device,
+    PRECISION_BYTE_SCALE,
+    current_device,
+    set_device,
+    use_device,
+)
 from repro.device.fabric import (
     Fabric,
     FabricStats,
@@ -16,7 +22,7 @@ from repro.device.fabric import (
     NVLINK,
     PCIE_P2P,
 )
-from repro.device.gpu import GPUSpec, RTX_2080TI, TOY_GPU
+from repro.device.gpu import FORMAT_EFFICIENCY, GPUSpec, RTX_2080TI, TOY_GPU, kernel_efficiency
 from repro.device.host import DEFAULT_HOST_COSTS, HostCostModel
 from repro.device.kernel import KernelRecord, Profiler
 from repro.device.memory import MemoryPool, OutOfMemoryError
@@ -46,6 +52,7 @@ __all__ = [
     "ClockSnapshot",
     "SimClock",
     "Device",
+    "PRECISION_BYTE_SCALE",
     "current_device",
     "set_device",
     "use_device",
@@ -59,6 +66,8 @@ __all__ = [
     "GPUSpec",
     "RTX_2080TI",
     "TOY_GPU",
+    "FORMAT_EFFICIENCY",
+    "kernel_efficiency",
     "HostCostModel",
     "DEFAULT_HOST_COSTS",
     "KernelRecord",

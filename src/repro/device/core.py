@@ -19,16 +19,38 @@ from repro.device.memory import MemoryPool
 from repro.device.streams import Event, Stream
 
 
+#: Precisions the device models and the tensor-byte scale each implies.
+#: fp16 halves every tensor byte: 2x effective bandwidth on the memory leg,
+#: half the footprint against peak memory, half the PCIe traffic.  Numerics
+#: are untouched (master weights and arithmetic stay fp32), so results are
+#: bitwise-identical across precisions — the policy docs/kernels.md states.
+PRECISION_BYTE_SCALE = {"fp32": 1.0, "fp16": 0.5}
+
+
 class Device:
-    """A simulated GPU plus its host, observed through one clock."""
+    """A simulated GPU plus its host, observed through one clock.
+
+    ``precision`` selects the roofline mode: ``"fp16"`` halves all tensor
+    bytes (see :data:`PRECISION_BYTE_SCALE`), which doubles effective
+    bandwidth and memory capacity for bandwidth-bound kernels while leaving
+    FLOPs, launch overhead and numerics unchanged.
+    """
 
     def __init__(
         self,
         spec: GPUSpec = RTX_2080TI,
         host_costs: HostCostModel = DEFAULT_HOST_COSTS,
+        precision: str = "fp32",
     ) -> None:
+        if precision not in PRECISION_BYTE_SCALE:
+            raise ValueError(
+                f"unknown precision {precision!r}, expected one of "
+                f"{tuple(PRECISION_BYTE_SCALE)}"
+            )
         self.spec = spec
         self.host_costs = host_costs
+        self.precision = precision
+        self._byte_scale = PRECISION_BYTE_SCALE[precision]
         self.clock = SimClock()
         self.memory = MemoryPool(spec.memory_bytes)
         self.profiler = Profiler()
@@ -87,6 +109,9 @@ class Device:
         """
         if stream is None:
             stream = self._current_stream
+        # Precision scaling applies at the entry point so eager, captured
+        # and replayed launches all see the same (scaled) byte counts.
+        bytes_moved = bytes_moved * self._byte_scale
         if self._faults is not None:
             self._faults.on_launch(self, name)
         if self._replay is not None:
@@ -351,6 +376,7 @@ class Device:
         attribution (:mod:`repro.device.roofline`) sees transfer traffic —
         nvprof reports ``[CUDA memcpy HtoD]`` rows the same way.
         """
+        nbytes = nbytes * self._byte_scale
         duration = self.spec.transfer_time(nbytes)
         if self._offload is not None:
             copy = self._offload_copy or self._offload
@@ -397,8 +423,12 @@ class Device:
     # memory
     # ------------------------------------------------------------------
     def track(self, array) -> None:
-        """Account a numpy buffer against device memory (freed on GC)."""
-        self.memory.track(array)
+        """Account a numpy buffer against device memory (freed on GC).
+
+        Under fp16 precision the charge is half the array's fp32 bytes —
+        tensors ship at half width, so peak memory effectively doubles.
+        """
+        self.memory.track(array, scale=self._byte_scale)
 
     # ------------------------------------------------------------------
     def reset(self) -> None:

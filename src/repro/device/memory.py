@@ -60,17 +60,19 @@ class MemoryPool:
         """Release ``nbytes`` previously reserved with :meth:`alloc`."""
         self.current = max(0, self.current - nbytes)
 
-    def track(self, array: Any) -> None:
+    def track(self, array: Any, scale: float = 1.0) -> None:
         """Account ``array`` (a numpy ndarray) against this pool.
 
         The bytes are freed automatically when the array is garbage
         collected.  Tracking the same array twice is a no-op, so wrapping an
         already-tracked buffer in a second view or Tensor is safe.
+        ``scale`` adjusts the charged size (0.5 under the device's fp16
+        precision mode: tensors ship at half width).
         """
         key = id(array)
         if key in self._tracked:
             return
-        nbytes = int(array.nbytes)
+        nbytes = int(array.nbytes * scale)
         self.alloc(nbytes)
         self._tracked.add(key)
         weakref.finalize(array, self._release, key, nbytes)

@@ -31,14 +31,40 @@ class ReduceFunc:
     out_field: str
 
 
+#: Binary combinators apply_edges lowers onto the generalized GSDDMM kernel.
+EDGE_BINARY_OPS = ("add", "sub", "mul", "div", "dot")
+
+#: Operand targets an EdgeFunc op name may reference.
+EDGE_TARGETS = ("u", "v", "e")
+
+
 @dataclass(frozen=True)
 class EdgeFunc:
-    """Edge-wise binary op spec for ``apply_edges``."""
+    """Edge-wise binary op spec for ``apply_edges``.
 
-    op: str  # "u_add_v" | "u_dot_v"
+    ``op`` is ``"<lhs>_<binop>_<rhs>"`` with targets from
+    :data:`EDGE_TARGETS` (``u`` = source, ``v`` = destination, ``e`` = edge)
+    and combinators from :data:`EDGE_BINARY_OPS` — e.g. ``u_add_v``,
+    ``u_dot_v``, ``u_mul_e``.  Lowered onto one fused
+    :func:`repro.tensor.gsddmm` launch.
+    """
+
+    op: str
     src_field: str
     dst_field: str
     out_field: str
+
+    def targets(self):
+        """Return ``(lhs_target, binop, rhs_target)``; raises on bad specs."""
+        parts = self.op.split("_")
+        if (
+            len(parts) != 3
+            or parts[0] not in EDGE_TARGETS
+            or parts[2] not in EDGE_TARGETS
+            or parts[1] not in EDGE_BINARY_OPS
+        ):
+            raise ValueError(f"unsupported edge op {self.op!r}")
+        return parts[0], parts[1], parts[2]
 
 
 def copy_u(src_field: str, out_field: str) -> MessageFunc:
@@ -71,6 +97,31 @@ def u_add_v(src_field: str, dst_field: str, out_field: str) -> EdgeFunc:
     return EdgeFunc("u_add_v", src_field, dst_field, out_field)
 
 
+def u_sub_v(src_field: str, dst_field: str, out_field: str) -> EdgeFunc:
+    """Per-edge difference of source and destination node features."""
+    return EdgeFunc("u_sub_v", src_field, dst_field, out_field)
+
+
+def u_mul_v(src_field: str, dst_field: str, out_field: str) -> EdgeFunc:
+    """Per-edge product of source and destination node features."""
+    return EdgeFunc("u_mul_v", src_field, dst_field, out_field)
+
+
+def u_div_v(src_field: str, dst_field: str, out_field: str) -> EdgeFunc:
+    """Per-edge quotient of source and destination node features."""
+    return EdgeFunc("u_div_v", src_field, dst_field, out_field)
+
+
 def u_dot_v(src_field: str, dst_field: str, out_field: str) -> EdgeFunc:
     """Per-edge dot product of source and destination node features."""
     return EdgeFunc("u_dot_v", src_field, dst_field, out_field)
+
+
+def u_add_e(src_field: str, edge_field: str, out_field: str) -> EdgeFunc:
+    """Per-edge sum of the source node feature and an edge feature."""
+    return EdgeFunc("u_add_e", src_field, edge_field, out_field)
+
+
+def v_add_e(dst_field: str, edge_field: str, out_field: str) -> EdgeFunc:
+    """Per-edge sum of the destination node feature and an edge feature."""
+    return EdgeFunc("v_add_e", dst_field, edge_field, out_field)

@@ -20,9 +20,8 @@ import numpy as np
 
 from repro.device import current_device
 from repro.dglx.function import EdgeFunc, MessageFunc, ReduceFunc
-from repro.dglx.kernels import gsddmm_u_add_v
 from repro.graph import GraphSample
-from repro.tensor import CSRGraph, Tensor, gsddmm_dot, gspmm
+from repro.tensor import CSRGraph, Tensor, gsddmm, gspmm
 
 DEFAULT_NTYPE = "_N"
 DEFAULT_ETYPE = ("_N", "_E", "_N")
@@ -127,6 +126,15 @@ class DGLGraph:
             )
         return self._csr
 
+    def autotune_formats(self) -> str:
+        """Select the sparse format the cost model charges for this graph.
+
+        Delegates to :meth:`repro.tensor.CSRGraph.autotune_format` (cached,
+        deterministic); subsequent GSpMM/GSDDMM launches carry the chosen
+        ``@fmt`` suffix and its index-traffic/efficiency charging.
+        """
+        return self.csr.autotune_format()
+
     # ------------------------------------------------------------------
     # message passing (lowered to fused kernels)
     # ------------------------------------------------------------------
@@ -149,17 +157,24 @@ class DGLGraph:
         self.ndata[reduce.out_field] = out
 
     def apply_edges(self, func: EdgeFunc) -> None:
-        """Compute a per-edge value into ``edata[func.out_field]`` (GSDDMM)."""
+        """Compute a per-edge value into ``edata[func.out_field]`` (GSDDMM).
+
+        Any ``<lhs>_<binop>_<rhs>`` builtin (``u_add_v``, ``u_dot_v``,
+        ``u_mul_e``, ...) lowers onto one fused generalized-GSDDMM launch.
+        """
         device = current_device()
         device.host(device.host_costs.dgl_apply_edges_overhead)
-        u = self.ndata[func.src_field]
-        v = self.ndata[func.dst_field]
-        if func.op == "u_add_v":
-            self.edata[func.out_field] = gsddmm_u_add_v(self.csr, u, v)
-        elif func.op == "u_dot_v":
-            self.edata[func.out_field] = gsddmm_dot(self.csr, u, v)
-        else:
-            raise ValueError(f"unsupported edge op {func.op!r}")
+        lhs_target, binop, rhs_target = func.targets()
+        lhs_frame = self.edata if lhs_target == "e" else self.ndata
+        rhs_frame = self.edata if rhs_target == "e" else self.ndata
+        self.edata[func.out_field] = gsddmm(
+            self.csr,
+            binop,
+            lhs_frame[func.src_field],
+            rhs_frame[func.dst_field],
+            lhs_target=lhs_target,
+            rhs_target=rhs_target,
+        )
 
     def clear_frames(self) -> None:
         """Drop all stored features (between training iterations)."""

@@ -1,20 +1,19 @@
-"""Extra fused edge kernels for the DGL-style framework.
+"""Fused edge kernels for the DGL-style framework.
 
-``gsddmm_u_add_v`` is the fused "broadcast node features to edges and add"
-kernel DGL uses for GAT attention logits: one launch forward, one per input
-backward, instead of PyG's two gathers + one add.
+These are thin pack-level wrappers over the generalized kernels in
+:mod:`repro.tensor.ops_sparse`: ``gsddmm_u_add_v`` is the fused "broadcast
+node features to edges and add" kernel DGL uses for GAT attention logits
+(one launch forward, one per input backward, instead of PyG's two gathers +
+one add), and ``edge_softmax_fused`` is the two-kernel segment softmax.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-from repro.device import current_device
 from repro.tensor.ops_scatter import segment_sum
-from repro.tensor.ops_sparse import CSRGraph, gspmm
-from repro.tensor.tensor import Tensor, launch_backward, make_op
-
-_F32 = 4
+from repro.tensor.ops_sparse import CSRGraph, edge_softmax as _edge_softmax, gsddmm, gspmm
+from repro.tensor.tensor import Tensor
 
 
 def spmm(graph: CSRGraph, x: Tensor) -> Tensor:
@@ -35,27 +34,19 @@ def reduce_rows(src: Tensor, offsets: "np.ndarray") -> Tensor:
     return segment_sum(src, offsets)
 
 
+def sddmm(graph: CSRGraph, src_feat: Tensor, dst_feat: Tensor, op: str = "dot") -> Tensor:
+    """DGL's SDDMM lowering: one fused :func:`repro.tensor.gsddmm` launch.
+
+    The counterpart of :func:`repro.pygx.kernels.sddmm`'s unfused
+    gather + gather + combine chain; :mod:`repro.bench.ops` times both
+    through this one wrapper surface per pack.
+    """
+    return gsddmm(graph, op, src_feat, dst_feat)
+
+
 def gsddmm_u_add_v(graph: CSRGraph, src_feat: Tensor, dst_feat: Tensor) -> Tensor:
     """Per-edge ``out[e] = src_feat[src(e)] + dst_feat[dst(e)]`` (fused)."""
-    if len(src_feat) != graph.num_src or len(dst_feat) != graph.num_dst:
-        raise ValueError("feature row counts must match the graph")
-    e = graph.num_edges
-    sorted_out = src_feat.data[graph.indices] + dst_feat.data[graph.rows]
-    out = np.empty((e,) + sorted_out.shape[1:], dtype=np.float32)
-    out[graph.edge_ids] = sorted_out
-    flops = float(out.size)
-    nbytes = float(_F32 * (src_feat.size + dst_feat.size + out.size))
-
-    def backward(grad: np.ndarray):
-        launch_backward("gsddmm_u_add_v_backward", float(grad.size), _F32 * 3.0 * grad.size)
-        g_sorted = grad[graph.edge_ids]
-        gs = np.zeros(src_feat.shape, dtype=np.float32)
-        np.add.at(gs, graph.indices, g_sorted)
-        gd = np.zeros(dst_feat.shape, dtype=np.float32)
-        np.add.at(gd, graph.rows, g_sorted)
-        return gs, gd
-
-    return make_op("gsddmm_u_add_v", out, (src_feat, dst_feat), backward, flops, nbytes)
+    return gsddmm(graph, "add", src_feat, dst_feat)
 
 
 def edge_softmax_fused(graph: CSRGraph, logits: Tensor) -> Tensor:
@@ -64,40 +55,6 @@ def edge_softmax_fused(graph: CSRGraph, logits: Tensor) -> Tensor:
     ``logits`` has shape ``(E, ...)`` in original edge order.  Forward is two
     kernels (segment max-subtract-exp, segment sum-divide); backward is two
     more — the fusion the paper contrasts with PyG's six-launch composition.
+    Implemented by :func:`repro.tensor.edge_softmax`.
     """
-    e = graph.num_edges
-    rows = graph.rows
-    sorted_logits = logits.data[graph.edge_ids]
-    trailing = sorted_logits.shape[1:]
-
-    maxes = np.full((graph.num_dst,) + trailing, -np.inf, dtype=np.float32)
-    np.maximum.at(maxes, rows, sorted_logits)
-    maxes = np.where(np.isfinite(maxes), maxes, 0.0).astype(np.float32)
-    exp = np.exp(sorted_logits - maxes[rows])
-    denom = np.zeros((graph.num_dst,) + trailing, dtype=np.float32)
-    np.add.at(denom, rows, exp)
-    denom = np.maximum(denom, 1e-16)
-    sorted_out = (exp / denom[rows]).astype(np.float32)
-    out = np.empty_like(sorted_out)
-    out[graph.edge_ids] = sorted_out
-    # The CSR-ordered softmax output is saved for backward (device memory).
-    current_device().track(sorted_out)
-
-    flops = 4.0 * out.size
-    nbytes = float(_F32 * 3 * out.size)
-    # Charge the second fused kernel explicitly (make_op charges the first).
-    current_device().launch("edge_softmax_norm", 2.0 * out.size, _F32 * 2.0 * out.size)
-
-    def backward(grad: np.ndarray):
-        launch_backward("edge_softmax_backward_accum", 2.0 * grad.size, _F32 * 3.0 * grad.size)
-        launch_backward("edge_softmax_backward_norm", 2.0 * grad.size, _F32 * 2.0 * grad.size)
-        g_sorted = grad[graph.edge_ids]
-        weighted = (g_sorted * sorted_out).astype(np.float32)
-        dot = np.zeros((graph.num_dst,) + trailing, dtype=np.float32)
-        np.add.at(dot, rows, weighted)
-        g_logits_sorted = sorted_out * (g_sorted - dot[rows])
-        g_logits = np.empty_like(g_logits_sorted)
-        g_logits[graph.edge_ids] = g_logits_sorted
-        return (g_logits.astype(np.float32),)
-
-    return make_op("edge_softmax", out, (logits,), backward, flops, nbytes)
+    return _edge_softmax(graph, logits)

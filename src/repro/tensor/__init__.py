@@ -51,7 +51,20 @@ from repro.tensor.ops_scatter import (
     segment_reduce,
     segment_sum,
 )
-from repro.tensor.ops_sparse import CSRGraph, gsddmm_dot, gspmm
+from repro.tensor.formats import (
+    FORMATS,
+    FormatDecision,
+    degree_stats,
+    format_index_bytes,
+    select_format,
+)
+from repro.tensor.ops_sparse import (
+    CSRGraph,
+    edge_softmax,
+    gsddmm,
+    gsddmm_dot,
+    gspmm,
+)
 from repro.tensor.tensor import Tensor
 
 __all__ = [
@@ -105,5 +118,12 @@ __all__ = [
     "segment_max",
     "CSRGraph",
     "gspmm",
+    "gsddmm",
     "gsddmm_dot",
+    "edge_softmax",
+    "FORMATS",
+    "FormatDecision",
+    "degree_stats",
+    "format_index_bytes",
+    "select_format",
 ]

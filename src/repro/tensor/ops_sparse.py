@@ -6,9 +6,17 @@ steps into one kernel: computing messages from source-node (and optionally
 edge) features, and aggregating them on destination nodes (Section IV-C).
 
 :func:`gspmm` is that fused kernel: a single launch per call, in contrast to
-the PyG-style gather + scatter pair.  :func:`gsddmm_dot` is its companion
-that produces per-edge values from node features (used for attention
-logits).
+the PyG-style gather + scatter pair.  :func:`gsddmm` is its generalized
+companion — "Sampled Dense-Dense Matrix Multiplication" — producing per-edge
+values from node/edge operands (attention logits, gated edge features) in a
+single fused launch; :func:`gsddmm_dot` is the legacy dot-product entry
+point, now a thin wrapper.
+
+Both kernels honour the graph's sparse-format choice (``CSRGraph.fmt``, see
+:mod:`repro.tensor.formats`): when a format has been selected the kernel name
+carries an ``@fmt`` suffix and the device cost model charges the format's
+index traffic and efficiency.  The kernel contract is documented in
+``docs/kernels.md``.
 """
 
 from __future__ import annotations
@@ -22,6 +30,38 @@ from repro.device import current_device
 from repro.tensor.tensor import Tensor, launch_backward, make_op, unbroadcast
 
 _F32 = 4
+
+
+def _segment_sum_csr(values: np.ndarray, indptr: np.ndarray, num_segments: int) -> np.ndarray:
+    """Per-segment sum over CSR-contiguous ``values`` (vectorised).
+
+    ``values[indptr[i]:indptr[i+1]]`` belongs to segment ``i``.  Uses
+    ``np.add.reduceat`` over the non-empty segment starts — empty segments
+    contribute zero-width spans between consecutive non-empty starts, so
+    they stay at their zero initial value without a python loop.
+    """
+    out = np.zeros((num_segments,) + values.shape[1:], dtype=np.float32)
+    if len(values):
+        nonempty = np.diff(indptr) > 0
+        if nonempty.any():
+            out[nonempty] = np.add.reduceat(values, indptr[:-1][nonempty], axis=0)
+    return out
+
+
+def _segment_max_csr(
+    values: np.ndarray, indptr: np.ndarray, num_segments: int, fill: float = -np.inf
+) -> np.ndarray:
+    """Per-segment max over CSR-contiguous ``values`` (vectorised).
+
+    Empty segments yield ``fill``.  Exact regardless of reduction order, so
+    this is bitwise-identical to the ``np.maximum.at`` loop it replaces.
+    """
+    out = np.full((num_segments,) + values.shape[1:], fill, dtype=np.float32)
+    if len(values):
+        nonempty = np.diff(indptr) > 0
+        if nonempty.any():
+            out[nonempty] = np.maximum.reduceat(values, indptr[:-1][nonempty], axis=0)
+    return out
 
 
 class CSRGraph:
@@ -45,6 +85,10 @@ class CSRGraph:
             raise ValueError("indices and edge_ids must have equal length")
         # Destination node of each CSR slot (row expansion), used by backward.
         self.rows = np.repeat(np.arange(self.num_dst), np.diff(self.indptr))
+        # Sparse-format choice for the cost model (None = format-agnostic
+        # legacy charging).  Set via set_format()/autotune_format().
+        self.fmt: Optional[str] = None
+        self._format_decision = None
         # Sparse formats live in device memory (DGL keeps COO + CSR copies).
         device = current_device()
         for array in (self.indptr, self.indices, self.edge_ids, self.rows):
@@ -87,6 +131,42 @@ class CSRGraph:
         return sp.csr_matrix(
             (data, self.indices, self.indptr), shape=(self.num_dst, self.num_src)
         )
+
+    def set_format(self, fmt: Optional[str]) -> "CSRGraph":
+        """Pin the sparse format the cost model charges for this graph."""
+        from repro.tensor.formats import FORMATS
+
+        if fmt is not None and fmt not in FORMATS:
+            raise ValueError(f"unknown sparse format {fmt!r}, expected one of {FORMATS}")
+        self.fmt = fmt
+        return self
+
+    def autotune_format(self) -> str:
+        """Select and cache the sparse format from this graph's degree stats.
+
+        Idempotent: the decision is computed once per graph and cached
+        (see :func:`repro.tensor.formats.select_format` for the rules).
+        """
+        from repro.tensor.formats import select_format
+
+        if self._format_decision is None:
+            self._format_decision = select_format(self)
+        self.fmt = self._format_decision.fmt
+        return self.fmt
+
+
+def _sparse_kernel_name(graph: CSRGraph, base: str) -> str:
+    """Kernel name for a sparse launch, carrying the format suffix."""
+    return base if graph.fmt is None else f"{base}@{graph.fmt}"
+
+
+def _sparse_index_bytes(graph: CSRGraph) -> float:
+    """Extra index traffic the selected format moves (0 when format-agnostic)."""
+    if graph.fmt is None:
+        return 0.0
+    from repro.tensor.formats import format_index_bytes
+
+    return format_index_bytes(graph, graph.fmt)
 
 
 def _as_scalar_weight(w: np.ndarray) -> Optional[np.ndarray]:
@@ -139,15 +219,15 @@ def gspmm(
         out = out.reshape((graph.num_dst,) + x.shape[1:])
     else:
         msgs = (w_sorted * x.data[graph.indices]).astype(np.float32)
-        out = np.zeros((graph.num_dst,) + msgs.shape[1:], dtype=np.float32)
-        np.add.at(out, graph.rows, msgs)
+        out = _segment_sum_csr(msgs, graph.indptr, graph.num_dst)
     if reduce == "mean":
         out = out / degrees.reshape((-1,) + (1,) * (out.ndim - 1))
 
     flops = 2.0 * e * feat_dim
     # The kernel reads one source row per edge (random access), the weight
-    # per edge, and writes the output.
-    nbytes = float(_F32 * (e * feat_dim + e + x.size + out.size))
+    # per edge, and writes the output — plus the selected format's index
+    # arrays when the graph has been format-tuned.
+    nbytes = float(_F32 * (e * feat_dim + e + x.size + out.size)) + _sparse_index_bytes(graph)
     parents: Tuple[Tensor, ...] = (x,) if edge_weight is None else (x, edge_weight)
 
     # DGL's GSpMM materialises a message-frame workspace of one value per
@@ -192,40 +272,209 @@ def gspmm(
         gw[graph.edge_ids] = gw_sorted
         return (gx, gw)
 
-    return make_op("gspmm", out, parents, backward, flops, nbytes)
+    return make_op(_sparse_kernel_name(graph, "gspmm"), out, parents, backward, flops, nbytes)
+
+
+#: Binary combinators the generalized GSDDMM kernel supports.  ``copy_lhs``
+#: takes a single operand (``rhs=None``) and is the degenerate
+#: gather-to-edges kernel.
+GSDDMM_OPS = ("add", "sub", "mul", "div", "dot", "copy_lhs")
+
+#: Operand targets: ``u`` = source node, ``v`` = destination node,
+#: ``e`` = per-edge (original edge order).
+GSDDMM_TARGETS = ("u", "v", "e")
+
+
+def _gsddmm_rows(graph: CSRGraph, target: str) -> int:
+    return {"u": graph.num_src, "v": graph.num_dst, "e": graph.num_edges}[target]
+
+
+def _gsddmm_gather(graph: CSRGraph, data: np.ndarray, target: str) -> np.ndarray:
+    """Operand rows in CSR (destination-sorted) order for a target."""
+    if target == "u":
+        return data[graph.indices]
+    if target == "v":
+        return data[graph.rows]
+    return data[graph.edge_ids]
+
+
+def _gsddmm_scatter_grad(
+    graph: CSRGraph, g_sorted: np.ndarray, operand: Tensor, target: str
+) -> np.ndarray:
+    """Reduce a CSR-ordered per-edge gradient back onto an operand."""
+    g_part = unbroadcast(g_sorted, (graph.num_edges,) + operand.shape[1:])
+    g_part = g_part.astype(np.float32, copy=False)
+    if target == "u":
+        gx = np.zeros(operand.shape, dtype=np.float32)
+        np.add.at(gx, graph.indices, g_part)
+        return gx
+    if target == "v":
+        # CSR order is destination-contiguous: a vectorised segment sum.
+        return _segment_sum_csr(g_part, graph.indptr, graph.num_dst)
+    gx = np.zeros(operand.shape, dtype=np.float32)
+    gx[graph.edge_ids] = g_part
+    return gx
+
+
+def gsddmm(
+    graph: CSRGraph,
+    op: str,
+    lhs: Tensor,
+    rhs: Optional[Tensor] = None,
+    lhs_target: str = "u",
+    rhs_target: str = "v",
+) -> Tensor:
+    """Generalized SDDMM: combine two operands on edges in one fused launch.
+
+    ``out[e] = op(lhs[lhs_target(e)], rhs[rhs_target(e)])`` for every edge,
+    in the *original* edge order.  Operands live on source nodes (``u``),
+    destination nodes (``v``) or edges (``e``); trailing shapes broadcast
+    (e.g. ``(N, H, D)`` against ``(N, H, 1)``).  ``op="dot"`` contracts the
+    last axis — features ``(N, H, D)`` yield logits ``(E, H)``; the
+    elementwise ops keep the broadcast trailing shape.  ``op="copy_lhs"``
+    gathers a single operand to edges (``rhs`` must be omitted).
+
+    This is the DGL-style pairing of :func:`gspmm`: one launch forward, one
+    per operand backward, versus the unfused gather + gather + combine chain
+    (see ``docs/kernels.md`` for the op/target tables and charging rules).
+    """
+    if op not in GSDDMM_OPS:
+        raise ValueError(f"gsddmm supports {GSDDMM_OPS}, got {op!r}")
+    if lhs_target not in GSDDMM_TARGETS or rhs_target not in GSDDMM_TARGETS:
+        raise ValueError(f"gsddmm targets must be one of {GSDDMM_TARGETS}")
+    if op == "copy_lhs":
+        if rhs is not None:
+            raise ValueError("gsddmm op 'copy_lhs' takes no rhs operand")
+    elif rhs is None:
+        raise ValueError(f"gsddmm op {op!r} needs an rhs operand")
+    if len(lhs) != _gsddmm_rows(graph, lhs_target):
+        raise ValueError(
+            f"lhs has {len(lhs)} rows, target {lhs_target!r} expects "
+            f"{_gsddmm_rows(graph, lhs_target)}"
+        )
+    if rhs is not None and len(rhs) != _gsddmm_rows(graph, rhs_target):
+        raise ValueError(
+            f"rhs has {len(rhs)} rows, target {rhs_target!r} expects "
+            f"{_gsddmm_rows(graph, rhs_target)}"
+        )
+
+    e = graph.num_edges
+    l_sorted = _gsddmm_gather(graph, lhs.data, lhs_target)
+    r_sorted = _gsddmm_gather(graph, rhs.data, rhs_target) if rhs is not None else None
+
+    if op == "add":
+        sorted_out = l_sorted + r_sorted
+    elif op == "sub":
+        sorted_out = l_sorted - r_sorted
+    elif op == "mul":
+        sorted_out = l_sorted * r_sorted
+    elif op == "div":
+        sorted_out = l_sorted / r_sorted
+    elif op == "dot":
+        if lhs.shape[-1] != rhs.shape[-1]:
+            raise ValueError("gsddmm 'dot' needs matching last-axis sizes")
+        sorted_out = (l_sorted * r_sorted).sum(axis=-1)
+    else:  # copy_lhs
+        sorted_out = l_sorted
+    out = np.empty((e,) + sorted_out.shape[1:], dtype=np.float32)
+    out[graph.edge_ids] = sorted_out
+
+    if op == "dot":
+        feat_dim = int(lhs.shape[-1])
+        flops = 2.0 * e * feat_dim
+        nbytes = float(_F32 * (2 * e * feat_dim + out.size))
+        bw_flops, bw_bytes = 2.0 * e * feat_dim, _F32 * 3.0 * e * feat_dim
+    elif op == "copy_lhs":
+        flops = 0.0
+        nbytes = float(_F32 * (lhs.size + out.size))
+        bw_flops, bw_bytes = 0.0, _F32 * 2.0 * out.size
+    else:
+        flops = float(out.size)
+        nbytes = float(_F32 * (lhs.size + rhs.size + out.size))
+        bw_flops, bw_bytes = float(out.size), _F32 * 3.0 * out.size
+    nbytes += _sparse_index_bytes(graph)
+    parents: Tuple[Tensor, ...] = (lhs,) if rhs is None else (lhs, rhs)
+
+    def backward(grad: np.ndarray):
+        launch_backward(f"gsddmm_{op}_backward", bw_flops, bw_bytes)
+        g_sorted = grad[graph.edge_ids].astype(np.float32, copy=False)
+        if op == "dot":
+            g_sorted = np.expand_dims(g_sorted, -1)
+        if op in ("add", "sub", "copy_lhs"):
+            gl_sorted = g_sorted
+        elif op == "div":
+            gl_sorted = (g_sorted / r_sorted).astype(np.float32)
+        else:  # mul, dot
+            gl_sorted = (g_sorted * r_sorted).astype(np.float32)
+        gl = _gsddmm_scatter_grad(graph, gl_sorted, lhs, lhs_target)
+        if rhs is None:
+            return (gl,)
+        if op == "add":
+            gr_sorted = g_sorted
+        elif op == "sub":
+            gr_sorted = -g_sorted
+        elif op == "div":
+            gr_sorted = (-g_sorted * l_sorted / (r_sorted * r_sorted)).astype(np.float32)
+        else:  # mul, dot
+            gr_sorted = (g_sorted * l_sorted).astype(np.float32)
+        gr = _gsddmm_scatter_grad(graph, gr_sorted, rhs, rhs_target)
+        return gl, gr
+
+    name = _sparse_kernel_name(graph, f"gsddmm_{op}")
+    return make_op(name, out, parents, backward, flops, nbytes)
 
 
 def gsddmm_dot(graph: CSRGraph, src_feat: Tensor, dst_feat: Tensor) -> Tensor:
-    """Per-edge dot product over the last axis.
+    """Per-edge dot product over the last axis (``gsddmm(graph, "dot", ...)``).
 
     ``out[e] = sum_d src_feat[src(e), ..., d] * dst_feat[dst(e), ..., d]``,
     keeping any middle axes (e.g. attention heads): features ``(N, H, D)``
-    yield logits ``(E, H)``.  This is DGL's sampled dense-dense matmul
-    (GSDDMM), one fused kernel.
+    yield logits ``(E, H)``.
     """
-    if len(src_feat) != graph.num_src or len(dst_feat) != graph.num_dst:
-        raise ValueError("feature row counts must match the graph")
-    e = graph.num_edges
-    feat_dim = src_feat.shape[-1]
-    src_idx = graph.indices
-    dst_idx = graph.rows
-    prod = src_feat.data[src_idx] * dst_feat.data[dst_idx]
-    out_sorted = prod.sum(axis=-1)
-    out = np.zeros((e,) + out_sorted.shape[1:], dtype=np.float32)
-    out[graph.edge_ids] = out_sorted
-    flops = 2.0 * e * feat_dim
-    nbytes = float(_F32 * (2 * e * feat_dim + out.size))
+    return gsddmm(graph, "dot", src_feat, dst_feat)
+
+
+def edge_softmax(graph: CSRGraph, logits: Tensor) -> Tensor:
+    """Fused edge softmax over the incoming edges of each destination.
+
+    ``logits`` has shape ``(E, ...)`` in original edge order.  Forward is two
+    kernels (segment max-subtract-exp, segment sum-divide); backward is two
+    more — the fusion the paper contrasts with PyG's six-launch scatter
+    composition.  Segment reductions run vectorised over the CSR-contiguous
+    row order (``np.{add,maximum}.reduceat``).
+    """
+    rows = graph.rows
+    sorted_logits = logits.data[graph.edge_ids]
+    trailing = sorted_logits.shape[1:]
+
+    maxes = _segment_max_csr(sorted_logits, graph.indptr, graph.num_dst)
+    maxes = np.where(np.isfinite(maxes), maxes, 0.0).astype(np.float32)
+    exp = np.exp(sorted_logits - maxes[rows])
+    denom = _segment_sum_csr(exp, graph.indptr, graph.num_dst)
+    denom = np.maximum(denom, 1e-16)
+    sorted_out = (exp / denom[rows]).astype(np.float32)
+    out = np.empty_like(sorted_out)
+    out[graph.edge_ids] = sorted_out
+    # The CSR-ordered softmax output is saved for backward (device memory).
+    current_device().track(sorted_out)
+
+    flops = 4.0 * out.size
+    nbytes = float(_F32 * 3 * out.size)
+    # Charge the second fused kernel explicitly (make_op charges the first).
+    current_device().launch("edge_softmax_norm", 2.0 * out.size, _F32 * 2.0 * out.size)
 
     def backward(grad: np.ndarray):
-        launch_backward("gsddmm_backward", 2.0 * e * feat_dim, _F32 * 3.0 * e * feat_dim)
-        g_sorted = np.expand_dims(grad[graph.edge_ids], -1).astype(np.float32)
-        gs = np.zeros(src_feat.shape, dtype=np.float32)
-        np.add.at(gs, src_idx, g_sorted * dst_feat.data[dst_idx])
-        gd = np.zeros(dst_feat.shape, dtype=np.float32)
-        np.add.at(gd, dst_idx, g_sorted * src_feat.data[src_idx])
-        return gs, gd
+        launch_backward("edge_softmax_backward_accum", 2.0 * grad.size, _F32 * 3.0 * grad.size)
+        launch_backward("edge_softmax_backward_norm", 2.0 * grad.size, _F32 * 2.0 * grad.size)
+        g_sorted = grad[graph.edge_ids]
+        weighted = (g_sorted * sorted_out).astype(np.float32)
+        dot = _segment_sum_csr(weighted, graph.indptr, graph.num_dst)
+        g_logits_sorted = sorted_out * (g_sorted - dot[rows])
+        g_logits = np.empty_like(g_logits_sorted)
+        g_logits[graph.edge_ids] = g_logits_sorted
+        return (g_logits.astype(np.float32),)
 
-    return make_op("gsddmm_dot", out, (src_feat, dst_feat), backward, flops, nbytes)
+    return make_op("edge_softmax", out, (logits,), backward, flops, nbytes)
 
 
 def _gspmm_max(graph: CSRGraph, x: Tensor, edge_weight: Optional[Tensor]) -> Tensor:
@@ -242,20 +491,17 @@ def _gspmm_max(graph: CSRGraph, x: Tensor, edge_weight: Optional[Tensor]) -> Ten
     else:
         w_sorted = None
         msgs = x.data[graph.indices]
-    out = np.full((graph.num_dst,) + msgs.shape[1:], -np.inf, dtype=np.float32)
-    if e:
-        np.maximum.at(out, graph.rows, msgs)
+    out = _segment_max_csr(msgs, graph.indptr, graph.num_dst)
     empty = ~np.isfinite(out)
     out = np.where(empty, 0.0, out).astype(np.float32)
 
     winners = (msgs == out[graph.rows]) & ~empty[graph.rows] if e else np.zeros_like(msgs, bool)
-    tie_count = np.zeros_like(out)
-    if e:
-        np.add.at(tie_count, graph.rows, winners.astype(np.float32))
+    # Sum of 0/1 indicators: exact in fp32 whatever the reduction order.
+    tie_count = _segment_sum_csr(winners.astype(np.float32), graph.indptr, graph.num_dst)
     tie_count = np.maximum(tie_count, 1.0)
 
     flops = float(e * feat_dim)
-    nbytes = float(_F32 * (e * feat_dim + out.size))
+    nbytes = float(_F32 * (e * feat_dim + out.size)) + _sparse_index_bytes(graph)
     parents: Tuple[Tensor, ...] = (x,) if edge_weight is None else (x, edge_weight)
     device = current_device()
     device.track(msgs)
@@ -281,4 +527,4 @@ def _gspmm_max(graph: CSRGraph, x: Tensor, edge_weight: Optional[Tensor]) -> Ten
         gw[graph.edge_ids] = unbroadcast(prod, target_shape)
         return (gx, gw)
 
-    return make_op("gspmm_max", out, parents, backward, flops, nbytes)
+    return make_op(_sparse_kernel_name(graph, "gspmm_max"), out, parents, backward, flops, nbytes)

@@ -70,6 +70,7 @@ class GraphClassificationTrainer:
         device: Optional[Device] = None,
         compile: bool = False,
         prefetch: bool = False,
+        precision: str = "fp32",
     ) -> None:
         if framework not in FRAMEWORKS:
             raise ValueError(f"unknown framework {framework!r}; options: {FRAMEWORKS}")
@@ -81,7 +82,12 @@ class GraphClassificationTrainer:
         self.config = config or graph_config(
             model_name, in_dim=dataset.num_features, n_classes=dataset.num_classes
         )
-        self.device = device or Device()
+        #: Roofline precision mode of the training device: "fp16" halves
+        #: tensor bytes (2x bandwidth, half peak memory) with numerics
+        #: untouched, so losses match fp32 bitwise.  Ignored when an
+        #: explicit ``device`` is passed.
+        self.precision = precision if device is None else device.precision
+        self.device = device or Device(precision=precision)
         #: Capture-and-replay the per-batch train step through
         #: ``repro.compile`` (fewer kernel launches, fused schedule).
         self.compile = compile

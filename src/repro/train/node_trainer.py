@@ -61,6 +61,7 @@ class NodeClassificationTrainer:
         max_epochs: int = 200,
         config: Optional[ModelConfig] = None,
         device: Optional[Device] = None,
+        precision: str = "fp32",
     ) -> None:
         if framework not in FRAMEWORKS:
             raise ValueError(f"unknown framework {framework!r}; options: {FRAMEWORKS}")
@@ -71,7 +72,10 @@ class NodeClassificationTrainer:
         self.config = config or node_config(
             model_name, in_dim=dataset.num_features, n_classes=dataset.num_classes
         )
-        self.device = device or Device()
+        #: "fp16" runs the device's fp16 roofline mode (halved tensor
+        #: bytes; numerics and losses bitwise-identical to fp32).
+        self.precision = precision if device is None else device.precision
+        self.device = device or Device(precision=precision)
 
     # ------------------------------------------------------------------
     def run(self, seed: int = 0) -> RunResult:

@@ -93,8 +93,15 @@ class TestGridAndSchema:
         cells = ops_grid(shapes=["enzymes-b128"])
         seen = {(c["op"], c["pack"]) for c in cells}
         assert seen == {(op, pack) for op in OPS for pack in PACKS}
-        # h2d has no compiled mode; everything else appears in both.
-        assert len(cells) == (len(OPS) - 1) * len(PACKS) * len(MODES) + len(PACKS)
+        # fp32: h2d has no compiled mode, everything else appears in both;
+        # fp16 rides along on the eager cells only.
+        fp32 = (len(OPS) - 1) * len(PACKS) * len(MODES) + len(PACKS)
+        fp16 = len(OPS) * len(PACKS)
+        assert len(cells) == fp32 + fp16
+        assert {c["precision"] for c in cells} == {"fp32", "fp16"}
+        assert all(
+            c["mode"] == "eager" for c in cells if c["precision"] == "fp16"
+        )
         for cell in cells:
             assert cell["bound"] in ("launch", "bandwidth", "compute")
 

@@ -113,7 +113,9 @@ class TestApplyEdges:
         from repro.dglx.function import EdgeFunc
 
         with pytest.raises(ValueError):
-            g.apply_edges(EdgeFunc("u_sub_v", "a", "a", "e"))
+            g.apply_edges(EdgeFunc("u_pow_v", "a", "a", "e"))
+        with pytest.raises(ValueError):
+            g.apply_edges(EdgeFunc("bogus", "a", "a", "e"))
 
 
 class TestFusedKernels:

@@ -1,0 +1,151 @@
+"""Sparse-format selection: rules, determinism, charging, and parity.
+
+docs/kernels.md's contract: format choice is pure accounting — selection
+is a deterministic function of the graph's in-degree statistics, tuned
+graphs launch suffixed kernels the cost model prices differently, and
+values never change.
+"""
+
+import numpy as np
+import pytest
+
+from repro.device import FORMAT_EFFICIENCY, kernel_efficiency
+from repro.graph.generators import rmat_edges
+from repro.tensor import (
+    CSRGraph,
+    FORMATS,
+    Tensor,
+    degree_stats,
+    format_index_bytes,
+    gspmm,
+    select_format,
+)
+
+
+def graph_from(src, dst, n):
+    return CSRGraph.from_edge_index(np.asarray(src), np.asarray(dst), n, n)
+
+
+def regular_graph(n=64, degree=16, rng=None):
+    rng = rng or np.random.default_rng(0)
+    dst = np.repeat(np.arange(n), degree)
+    src = rng.integers(0, n, size=n * degree)
+    return graph_from(src, dst, n)
+
+
+def rmat_graph(n=1024, n_edges=8192, seed=7):
+    src, dst = rmat_edges(n, n_edges, np.random.default_rng(seed))
+    return graph_from(src, dst, n)
+
+
+class TestSelectionRules:
+    def test_skewed_degrees_pick_coo(self):
+        # One hub receives most edges: cv far above the skew threshold.
+        rng = np.random.default_rng(0)
+        dst = np.where(rng.random(4096) < 0.7, 0, rng.integers(0, 256, 4096))
+        g = graph_from(rng.integers(0, 256, 4096), dst, 256)
+        decision = select_format(g)
+        assert decision.fmt == "coo"
+        _, cv = degree_stats(g)
+        assert cv > 1.0
+
+    def test_regular_dense_rows_pick_bcsr(self):
+        decision = select_format(regular_graph())
+        assert decision.fmt == "bcsr"
+        mean, cv = degree_stats(regular_graph())
+        assert mean >= 8.0 and cv <= 0.5
+
+    def test_middling_graph_picks_csr(self):
+        # Uniform random endpoints at low degree: neither skewed nor dense.
+        rng = np.random.default_rng(3)
+        g = graph_from(rng.integers(0, 256, 512), rng.integers(0, 256, 512), 256)
+        assert select_format(g).fmt == "csr"
+
+    def test_rmat_skew_is_detected(self):
+        # Graph500-style R-MAT degree distributions are power-law shaped;
+        # the selector must route them to the edge-parallel COO kernels.
+        g = rmat_graph()
+        _, cv = degree_stats(g)
+        assert cv > 1.0
+        assert select_format(g).fmt == "coo"
+
+    def test_decision_carries_reason_and_stats(self):
+        decision = select_format(rmat_graph())
+        assert decision.cv_degree > 1.0
+        assert decision.reason
+
+
+class TestDeterminismAndCaching:
+    def test_selection_is_deterministic_across_rebuilds(self):
+        # Same R-MAT seed -> same graph -> same decision, every time.
+        decisions = [select_format(rmat_graph(seed=11)) for _ in range(3)]
+        assert len({d.fmt for d in decisions}) == 1
+        assert len({d.cv_degree for d in decisions}) == 1
+
+    def test_selection_varies_with_structure_not_identity(self):
+        assert select_format(rmat_graph()).fmt == "coo"
+        assert select_format(regular_graph()).fmt == "bcsr"
+
+    def test_autotune_caches_per_graph(self):
+        g = rmat_graph()
+        assert g.fmt is None
+        assert g.autotune_format() == "coo"
+        first = g._format_decision
+        assert g.autotune_format() == "coo"
+        assert g._format_decision is first  # cached, not recomputed
+
+    def test_set_format_pins_and_validates(self):
+        g = regular_graph()
+        assert g.set_format("csr").fmt == "csr"
+        assert g.set_format(None).fmt is None
+        with pytest.raises(ValueError, match="format"):
+            g.set_format("ell")
+
+
+class TestCharging:
+    def test_format_efficiency_scales_sparse_kernels(self):
+        base = kernel_efficiency("gspmm")
+        assert kernel_efficiency("gspmm@csr") == base
+        assert kernel_efficiency("gspmm@coo") == pytest.approx(
+            base * FORMAT_EFFICIENCY["coo"]
+        )
+        assert kernel_efficiency("gspmm@bcsr") == pytest.approx(
+            base * FORMAT_EFFICIENCY["bcsr"]
+        )
+
+    def test_efficiency_cap(self):
+        # A high-efficiency base kernel cannot exceed the 0.95 cap.
+        assert kernel_efficiency("matmul@bcsr") == 0.95
+
+    def test_index_bytes_ordering(self):
+        g = regular_graph()
+        coo = format_index_bytes(g, "coo")
+        csr = format_index_bytes(g, "csr")
+        bcsr = format_index_bytes(g, "bcsr")
+        assert coo == 16.0 * g.num_edges
+        assert csr == 8.0 * (g.num_edges + g.num_dst + 1)
+        assert bcsr < csr < coo  # blocking amortises the index reads
+
+    def test_unknown_format_index_bytes_rejected(self):
+        with pytest.raises(ValueError):
+            format_index_bytes(regular_graph(), "ell")
+
+    def test_tuned_graph_charges_index_traffic(self, fresh_device, rng):
+        x = Tensor(rng.normal(size=(64, 8)).astype(np.float32))
+        fresh_device.profiler.enabled = True
+        gspmm(regular_graph(), x)
+        plain = fresh_device.profiler.records[-1]
+        gspmm(regular_graph().set_format("bcsr"), x)
+        tuned = fresh_device.profiler.records[-1]
+        assert tuned.name == "gspmm@bcsr" and plain.name == "gspmm"
+        extra = format_index_bytes(regular_graph(), "bcsr")
+        assert tuned.bytes_moved == pytest.approx(plain.bytes_moved + extra)
+
+
+class TestParity:
+    @pytest.mark.parametrize("fmt", FORMATS)
+    def test_values_identical_across_formats(self, fmt, rng):
+        x = Tensor(rng.normal(size=(64, 8)).astype(np.float32))
+        base = gspmm(regular_graph(), x).data
+        tuned = gspmm(regular_graph().set_format(fmt), x).data
+        np.testing.assert_array_equal(base, tuned)

@@ -106,6 +106,33 @@ def test_parity_flip_is_exact_gated(tmp_path):
     assert tool.main(["--baseline", base, "--current", str(cur)]) == 1
 
 
+def test_ops_fixture_flags_sddmm_and_fp16_cells(capsys):
+    """The ops fixture regresses the new sddmm and fp16 columns too: a
+    bound flip on an fp16 cell and a launch bump on the fused sddmm."""
+    base = os.path.join(REPO_ROOT, "BENCH_ops.json")
+    bad = os.path.join(FIXTURE_DIR, "BENCH_ops.json")
+    rc = tool.main(["--baseline", base, "--current", bad])
+    assert rc == 1
+    out = capsys.readouterr().out
+    assert "ops[sddmm/dglx/eager/fp16/cora]" in out
+    assert "ops[sddmm/dglx/eager/fp32/cora]" in out
+    assert "bound" in out and "launches" in out
+
+
+def test_ops_precision_axis_is_part_of_the_key(tmp_path):
+    """Dropping every fp16 cell is a regression (the fp32 twins of the
+    same (op, pack, mode, shape) must not mask them) — unless the run is
+    declared a reduced --subset grid."""
+    base = os.path.join(REPO_ROOT, "BENCH_ops.json")
+    doc = json.load(open(base))
+    doc["cells"] = [c for c in doc["cells"] if c["precision"] == "fp32"]
+    cur = tmp_path / "BENCH_ops.json"
+    cur.write_text(json.dumps(doc))
+    assert tool.main(["--baseline", base, "--current", str(cur)]) == 1
+    assert tool.main(["--baseline", base, "--current", str(cur),
+                      "--subset"]) == 0
+
+
 def test_scaling_fixture_regressions_flagged(capsys):
     """The scaling fixture flips the beat-the-baseline and parity gates
     and drops the speedup by ~20%."""

@@ -283,14 +283,17 @@ def check_scaling(baseline: Dict, current: Dict,
 
 def check_ops(baseline: Dict, current: Dict, tolerance: float,
               subset: bool = False) -> List[Regression]:
-    def by_key(doc: Dict) -> Dict[Tuple[str, str, str, str], Dict]:
-        return {(c["op"], c["pack"], c["mode"], c["shape"]): c
+    def by_key(doc: Dict) -> Dict[Tuple[str, str, str, str, str], Dict]:
+        # ``precision`` joined the key with the fp16 roofline mode; older
+        # baselines without the field key as fp32.
+        return {(c["op"], c["pack"], c["mode"],
+                 c.get("precision", "fp32"), c["shape"]): c
                 for c in doc.get("cells", [])}
 
     base_cells, cur_cells = by_key(baseline), by_key(current)
     out: List[Regression] = []
     for key, cell in sorted(base_cells.items()):
-        label = "ops[%s/%s/%s/%s]" % key
+        label = "ops[%s/%s/%s/%s/%s]" % key
         if key not in cur_cells:
             if subset:
                 continue  # reduced CI grid: ungenerated cells are not gated
